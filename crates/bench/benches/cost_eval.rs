@@ -1,0 +1,50 @@
+//! Microbenchmarks of the cost-evaluation hot path.
+//!
+//! One budget unit corresponds to one plan evaluation; these benches
+//! measure what a unit costs in wall time for both models across query
+//! sizes, plus the estimator on its own.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ljqo_cost::estimate::{intermediate_sizes, SizeWalker};
+use ljqo_cost::{CostModel, DiskCostModel, MemoryCostModel};
+use ljqo_plan::JoinOrder;
+use ljqo_workload::{generate_query, Benchmark};
+
+fn bench_order_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_cost");
+    for &n in &[10usize, 50, 100] {
+        let query = generate_query(&Benchmark::Default.spec(), n, 42);
+        let order = JoinOrder::identity(&query);
+        let memory = MemoryCostModel::default();
+        let disk = DiskCostModel::default();
+        let mut walker = SizeWalker::new(query.n_relations());
+
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(memory.order_cost_with(&query, black_box(order.rels()), &mut walker))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("disk", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(disk.order_cost_with(&query, black_box(order.rels()), &mut walker))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    for &n in &[10usize, 50, 100] {
+        let query = generate_query(&Benchmark::Default.spec(), n, 7);
+        let order = JoinOrder::identity(&query);
+        group.bench_with_input(BenchmarkId::new("intermediate_sizes", n), &n, |b, _| {
+            b.iter(|| black_box(intermediate_sizes(&query, black_box(order.rels()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_order_cost, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the constructive heuristics: one augmentation state,
+//! one full KBZ run (all roots), and one local-improvement pass — the
+//! real-time counterpart of the budget units the optimizer charges them
+//! (`N` per augmentation state, `~N²` per KBZ state).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ljqo_cost::{Evaluator, MemoryCostModel};
+use ljqo_heuristics::{
+    AugmentationCriterion, AugmentationHeuristic, KbzHeuristic, LocalImprovement,
+};
+use ljqo_plan::JoinOrder;
+use ljqo_workload::{generate_query, Benchmark};
+
+fn bench_augmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augmentation_generate");
+    for &n in &[10usize, 50, 100] {
+        let query = generate_query(&Benchmark::Default.spec(), n, 21);
+        let comp: Vec<_> = query.rel_ids().collect();
+        let first = AugmentationHeuristic::first_relations(&query, &comp)[0];
+        for criterion in [
+            AugmentationCriterion::MinSelectivity,
+            AugmentationCriterion::MinRank,
+        ] {
+            let h = AugmentationHeuristic::new(criterion);
+            group.bench_function(
+                BenchmarkId::new(format!("crit{}", criterion.number()), n),
+                |b| b.iter(|| black_box(h.generate(&query, &comp, first))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_kbz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kbz_generate");
+    group.sample_size(30);
+    for &n in &[10usize, 50, 100] {
+        let query = generate_query(&Benchmark::Default.spec(), n, 23);
+        let comp: Vec<_> = query.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let kbz = KbzHeuristic::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&query, &model);
+                black_box(kbz.generate(&mut ev, &comp))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_improvement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_improvement_pass");
+    group.sample_size(20);
+    let query = generate_query(&Benchmark::Default.spec(), 30, 29);
+    let model = MemoryCostModel::default();
+    for (cl, ov) in [(2usize, 1usize), (3, 2), (4, 3)] {
+        let strategy = LocalImprovement::new(cl, ov);
+        group.bench_function(BenchmarkId::from_parameter(format!("c{cl}o{ov}")), |b| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&query, &model);
+                let mut order = JoinOrder::identity(&query);
+                black_box(strategy.pass(&mut ev, &mut order))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_augmentation, bench_kbz, bench_local_improvement);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: sensitivity of the method ranking to the budget calibration
+//! constant κ (work units per N²).
+//!
+//! The deterministic budget replaces the paper's CPU-seconds; the claim
+//! that matters is that the *ranking* of methods is insensitive to the
+//! exact κ, since every method draws from the same budget. This ablation
+//! sweeps κ and prints the mean scaled costs of IAI/AGI/II at 1.5N² and
+//! 9N² under each.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+
+fn main() {
+    let args = Args::parse();
+    for kappa in [2.0, 5.0, 10.0, 20.0] {
+        let mut spec = GridSpec::new(vec![
+            HeuristicKind::Method(Method::Iai),
+            HeuristicKind::Method(Method::Agi),
+            HeuristicKind::Method(Method::Ii),
+        ]);
+        spec.taus = vec![0.3, 1.5, 9.0];
+        spec.kappa = kappa;
+        let mut spec = args.apply(spec);
+        spec.kappa = args.kappa.unwrap_or(kappa); // --kappa overrides all rows
+
+        let matrix = run_grid(&spec);
+        let report = Report::new(
+            &format!("ablation_kappa_{kappa}"),
+            &format!("IAI/AGI/II at kappa = {kappa} units per N²"),
+            matrix,
+        );
+        print!("{}", ljqo_bench::render_curve_table(&report));
+        println!();
+        if let Err(e) = ljqo_bench::write_json(&report, &args.out_dir) {
+            eprintln!("could not write results: {e}");
+        }
+    }
+}

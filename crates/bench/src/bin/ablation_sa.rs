@@ -1,0 +1,44 @@
+//! Ablation: simulated annealing schedule parameters.
+//!
+//! The paper adopts the JAMS87 schedule (chains of sizeFactor·N, geometric
+//! cooling). This ablation sweeps the cooling rate and the chain-length
+//! multiplier to check that SA's inferiority is not an artifact of one
+//! parameter choice.
+
+use ljqo::{Method, MethodRunner};
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+
+fn main() {
+    let args = Args::parse();
+    let variants: [(&str, f64, usize); 4] = [
+        ("fast-cool", 0.80, 16),
+        ("default", 0.95, 16),
+        ("slow-cool", 0.99, 16),
+        ("short-chain", 0.95, 4),
+    ];
+
+    for (name, cooling, size_factor) in variants {
+        let mut spec = GridSpec::new(vec![
+            HeuristicKind::Method(Method::Sa),
+            HeuristicKind::Method(Method::Ii),
+        ]);
+        let mut runner = MethodRunner::default();
+        runner.sa.cooling = cooling;
+        runner.sa.size_factor = size_factor;
+        spec.runner = runner;
+        spec.taus = vec![1.5, 9.0];
+        let spec = args.apply(spec);
+
+        let matrix = run_grid(&spec);
+        let report = Report::new(
+            &format!("ablation_sa_{name}"),
+            &format!("SA (cooling={cooling}, sizeFactor={size_factor}) vs II"),
+            matrix,
+        );
+        print!("{}", ljqo_bench::render_curve_table(&report));
+        println!();
+        if let Err(e) = ljqo_bench::write_json(&report, &args.out_dir) {
+            eprintln!("could not write results: {e}");
+        }
+    }
+}

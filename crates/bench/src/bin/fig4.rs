@@ -1,0 +1,27 @@
+//! Figure 4: all nine methods on the default benchmark (N = 10..50,
+//! main-memory cost model), mean scaled cost vs time limit.
+//!
+//! Paper's findings: IAI is superior over almost the whole range; AGI and
+//! II lead below ≈1.5N²; every combination involving simulated annealing
+//! (SA, SAA, SAK) is clearly inferior.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+
+fn main() {
+    let args = Args::parse();
+    let spec = args.apply(GridSpec::new(
+        Method::ALL.into_iter().map(HeuristicKind::Method).collect(),
+    ));
+    let matrix = run_grid(&spec);
+    let report = Report::new(
+        "fig4",
+        "all nine methods, default benchmark, memory cost model, N=10..50",
+        matrix,
+    );
+    print!("{}", ljqo_bench::render_curve_table(&report));
+    match ljqo_bench::write_json(&report, &args.out_dir) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 5: the five surviving methods on the larger benchmark
+//! (N = 10..100), mean scaled cost vs time limit.
+//!
+//! Paper's finding: the ordering from Figure 4 is unchanged — IAI first,
+//! with AGI and II better only at small limits.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = GridSpec::new(
+        Method::TOP_FIVE
+            .into_iter()
+            .map(HeuristicKind::Method)
+            .collect(),
+    );
+    spec.ns = (1..=10).map(|i| i * 10).collect();
+    spec.queries_per_n = 3; // larger default grid, smaller default count
+    let spec = args.apply(spec);
+
+    let matrix = run_grid(&spec);
+    let report = Report::new(
+        "fig5",
+        "top five methods, larger benchmark, memory cost model, N=10..100",
+        matrix,
+    );
+    print!("{}", ljqo_bench::render_curve_table(&report));
+    match ljqo_bench::write_json(&report, &args.out_dir) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

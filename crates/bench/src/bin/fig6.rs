@@ -1,0 +1,35 @@
+//! Figure 6: the small-time-limit region (0.3N² .. 3N²) for IAI, AGI and
+//! II on the larger benchmark.
+//!
+//! Paper's finding: AGI is the method of choice until about 1.8N²; beyond
+//! that IAI takes over. The crossover happens because AGI spends its early
+//! budget generating *all* augmentation states while IAI sinks time into
+//! iterative-improvement descents from the first few.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = GridSpec::new(vec![
+        HeuristicKind::Method(Method::Iai),
+        HeuristicKind::Method(Method::Agi),
+        HeuristicKind::Method(Method::Ii),
+    ]);
+    spec.ns = (1..=10).map(|i| i * 10).collect();
+    spec.queries_per_n = 3;
+    spec.taus = vec![0.3, 0.45, 0.6, 0.9, 1.2, 1.5, 1.8, 2.4, 3.0, 9.0];
+    let spec = args.apply(spec);
+
+    let matrix = run_grid(&spec);
+    let report = Report::new(
+        "fig6",
+        "small time limits for IAI/AGI/II, larger benchmark (9N² row is the scaling anchor)",
+        matrix,
+    );
+    print!("{}", ljqo_bench::render_curve_table(&report));
+    match ljqo_bench::write_json(&report, &args.out_dir) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

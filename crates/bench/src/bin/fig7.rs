@@ -1,0 +1,34 @@
+//! Figure 7: the five methods under the **disk-based** cost model
+//! (N = 10..50, default benchmark).
+//!
+//! Paper's finding: no alteration in the ordering among the methods — AGI
+//! preferable at small limits, IAI beyond about 1.5N² — implying the
+//! characteristics of the plan space do not change significantly with the
+//! cost model.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, ModelKind, Report};
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = GridSpec::new(
+        Method::TOP_FIVE
+            .into_iter()
+            .map(HeuristicKind::Method)
+            .collect(),
+    );
+    spec.model = ModelKind::Disk;
+    let spec = args.apply(spec);
+
+    let matrix = run_grid(&spec);
+    let report = Report::new(
+        "fig7",
+        "top five methods, default benchmark, DISK cost model, N=10..50",
+        matrix,
+    );
+    print!("{}", ljqo_bench::render_curve_table(&report));
+    match ljqo_bench::write_json(&report, &args.out_dir) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

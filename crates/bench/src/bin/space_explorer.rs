@@ -1,0 +1,88 @@
+//! Solution-space exploration — the paper's §7 "distribution of solution
+//! costs in the space of valid solutions is of interest and is being
+//! investigated".
+//!
+//! For each benchmark, sample the valid-plan space of several queries and
+//! census the local minima reached by steepest descent, testing the §6.4
+//! speculation that the space has "a large number of local minima, with a
+//! small but significant fraction of them being deep".
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ljqo::analysis::{census_local_minima, sample_space};
+use ljqo_bench::Args;
+use ljqo_cost::MemoryCostModel;
+use ljqo_workload::{generate_query, Benchmark};
+
+fn main() {
+    let args = Args::parse();
+    let queries_per_bench = args.queries_per_n.unwrap_or(3);
+    let n = 15; // steepest descent is O(N³) per step; keep N moderate
+    let samples = 400;
+    let descents = 30;
+    let model = MemoryCostModel::default();
+
+    println!(
+        "space_explorer — N={n}, {samples} space samples and {descents} steepest descents per query"
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>7} {:>8} {:>7}",
+        "benchmark", "median/", "p90/", "max/", "good%", "minima", "deep%"
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>7} {:>8} {:>7}",
+        "", "min", "min", "min", "", "found", ""
+    );
+
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let mut med = 0.0;
+        let mut p90 = 0.0;
+        let mut maxr = 0.0;
+        let mut good = 0.0;
+        let mut minima = 0.0;
+        let mut deep = 0.0;
+        for qi in 0..queries_per_bench {
+            let seed = args.seed.unwrap_or(0x5ace) + qi as u64;
+            let query = generate_query(&bench.spec(), n, seed);
+            let comp: Vec<_> = query.rel_ids().collect();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xf00);
+            let s = sample_space(&query, &model, &comp, samples, &mut rng);
+            let c = census_local_minima(&query, &model, &comp, descents, &mut rng);
+            med += s.median / s.min / queries_per_bench as f64;
+            p90 += s.p90 / s.min / queries_per_bench as f64;
+            maxr += (s.max / s.min).min(1e6) / queries_per_bench as f64;
+            good += s.good_fraction * 100.0 / queries_per_bench as f64;
+            minima += c.distinct_minima as f64 / queries_per_bench as f64;
+            deep += c.deep_fraction * 100.0 / queries_per_bench as f64;
+        }
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>9.1} {:>6.1}% {:>8.1} {:>6.1}%",
+            bench.name(),
+            med,
+            p90,
+            maxr,
+            good,
+            minima,
+            deep
+        );
+        rows.push(serde_json::json!({
+            "benchmark": bench.name(),
+            "median_over_min": med,
+            "p90_over_min": p90,
+            "max_over_min": maxr,
+            "good_fraction_pct": good,
+            "distinct_minima": minima,
+            "deep_fraction_pct": deep,
+        }));
+    }
+
+    let out = serde_json::json!({ "experiment": "space_explorer", "n": n, "rows": rows });
+    std::fs::create_dir_all(&args.out_dir).ok();
+    let path = args.out_dir.join("space_explorer.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 1: comparison of the five `chooseNext` criteria in the
+//! augmentation heuristic, at time limits 1.5/3/6/9 · N².
+//!
+//! Paper's finding: criterion 3 (minimum join selectivity) is clearly
+//! best; criterion 1 (minimum cardinality) worst. Scaled costs are
+//! referenced against the best the full methods (IAI/AGI/II) achieve at
+//! 9N², as in the paper's method comparison.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+use ljqo_heuristics::AugmentationCriterion;
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = GridSpec::new(
+        AugmentationCriterion::ALL
+            .into_iter()
+            .map(HeuristicKind::Augmentation)
+            .collect(),
+    );
+    spec.taus = vec![1.5, 3.0, 6.0, 9.0];
+    spec.reference_methods = vec![Method::Iai, Method::Agi, Method::Ii];
+    let spec = args.apply(spec);
+
+    let matrix = run_grid(&spec);
+    let report = Report::new(
+        "table1",
+        "augmentation chooseNext criteria (1=minCard 2=maxDeg 3=minSel 4=minSize 5=minRank)",
+        matrix,
+    );
+    print!("{}", ljqo_bench::render_curve_table(&report));
+    match ljqo_bench::write_json(&report, &args.out_dir) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,34 @@
+//! Table 2: comparison of spanning-tree weight criteria (3 = selectivity,
+//! 4 = intermediate size, 5 = rank) in the KBZ heuristic, at time limits
+//! 1.5/3/6/9 · N².
+//!
+//! Paper's finding: join selectivity (criterion 3) is the best weighting,
+//! as the original KBZ paper suggested.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind, Report};
+use ljqo_heuristics::MstWeight;
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = GridSpec::new(vec![
+        HeuristicKind::Kbz(MstWeight::Selectivity),
+        HeuristicKind::Kbz(MstWeight::IntermediateSize),
+        HeuristicKind::Kbz(MstWeight::Rank),
+    ]);
+    spec.taus = vec![1.5, 3.0, 6.0, 9.0];
+    spec.reference_methods = vec![Method::Iai, Method::Agi, Method::Ii];
+    let spec = args.apply(spec);
+
+    let matrix = run_grid(&spec);
+    let report = Report::new(
+        "table2",
+        "KBZ spanning-tree weight criteria (3=selectivity 4=intermediate-size 5=rank)",
+        matrix,
+    );
+    print!("{}", ljqo_bench::render_curve_table(&report));
+    match ljqo_bench::write_json(&report, &args.out_dir) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

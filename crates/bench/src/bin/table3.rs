@@ -1,0 +1,63 @@
+//! Table 3: the five methods across the nine benchmark variations of §5,
+//! at the time limit 9N² (memory cost model).
+//!
+//! Paper's finding: IAI is the method of choice irrespective of the
+//! benchmark.
+
+use ljqo::Method;
+use ljqo_bench::{run_grid, Args, GridSpec, HeuristicKind};
+use ljqo_workload::Benchmark;
+
+fn main() {
+    let args = Args::parse();
+    let methods = [
+        Method::Iai,
+        Method::Ial,
+        Method::Agi,
+        Method::Kbi,
+        Method::Ii,
+    ];
+
+    println!("table3 — five methods across benchmark variations, at 9N²");
+    print!("{:>3} {:<18} |", "#", "benchmark");
+    for m in methods {
+        print!(" {:>6}", m.name());
+    }
+    println!();
+    println!("{}", "-".repeat(24 + 7 * methods.len()));
+
+    let mut rows = Vec::new();
+    for bench in Benchmark::VARIATIONS {
+        let mut spec = GridSpec::new(methods.into_iter().map(HeuristicKind::Method).collect());
+        spec.benchmark = bench;
+        spec.taus = vec![9.0];
+        let spec = args.apply(spec);
+        let matrix = run_grid(&spec);
+
+        print!("{:>3} {:<18} |", bench.number(), bench.name());
+        let mut row = Vec::new();
+        for (ci, _) in methods.iter().enumerate() {
+            let s = matrix.mean_scaled(ci, 0);
+            print!(" {s:>6.2}");
+            row.push(s);
+        }
+        println!();
+        rows.push(serde_json::json!({
+            "benchmark": bench.name(),
+            "number": bench.number(),
+            "mean_scaled": row,
+        }));
+    }
+
+    let out = serde_json::json!({
+        "experiment": "table3",
+        "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        "rows": rows,
+    });
+    std::fs::create_dir_all(&args.out_dir).ok();
+    let path = args.out_dir.join("table3.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

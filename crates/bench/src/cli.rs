@@ -1,0 +1,171 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Flags (all optional):
+//!
+//! * `--queries <k>` — queries per join count (default depends on binary)
+//! * `--replicates <k>` — replicates per query
+//! * `--kappa <f>` — budget units per `N²`
+//! * `--seed <u64>` — base seed
+//! * `--paper-scale` — the paper's 50-queries/2-replicate configuration
+//! * `--out <dir>` — results directory (default `results/`)
+
+use std::path::PathBuf;
+
+use crate::grid::GridSpec;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Queries per join count, if overridden.
+    pub queries_per_n: Option<usize>,
+    /// Replicates per query, if overridden.
+    pub replicates: Option<usize>,
+    /// Budget calibration, if overridden.
+    pub kappa: Option<f64>,
+    /// Base seed, if overridden.
+    pub seed: Option<u64>,
+    /// Use the paper's full scale.
+    pub paper_scale: bool,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Args {
+    /// Parse `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args {
+            queries_per_n: None,
+            replicates: None,
+            kappa: None,
+            seed: None,
+            paper_scale: false,
+            out_dir: PathBuf::from("results"),
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| die(&format!("{name} requires a value")))
+            };
+            match arg.as_str() {
+                "--queries" => {
+                    out.queries_per_n = Some(
+                        value("--queries")
+                            .parse()
+                            .unwrap_or_else(|_| die("--queries must be an integer")),
+                    )
+                }
+                "--replicates" => {
+                    out.replicates = Some(
+                        value("--replicates")
+                            .parse()
+                            .unwrap_or_else(|_| die("--replicates must be an integer")),
+                    )
+                }
+                "--kappa" => {
+                    out.kappa = Some(
+                        value("--kappa")
+                            .parse()
+                            .unwrap_or_else(|_| die("--kappa must be a number")),
+                    )
+                }
+                "--seed" => {
+                    out.seed = Some(
+                        value("--seed")
+                            .parse()
+                            .unwrap_or_else(|_| die("--seed must be a u64")),
+                    )
+                }
+                "--paper-scale" => out.paper_scale = true,
+                "--out" => out.out_dir = PathBuf::from(value("--out")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --queries <k> --replicates <k> --kappa <f> --seed <u64> \
+                         --paper-scale --out <dir>"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+
+    /// Apply the overrides to a grid spec.
+    pub fn apply(&self, mut spec: GridSpec) -> GridSpec {
+        if self.paper_scale {
+            spec = spec.paper_scale();
+        }
+        if let Some(q) = self.queries_per_n {
+            spec.queries_per_n = q;
+        }
+        if let Some(r) = self.replicates {
+            spec.replicates = r;
+        }
+        if let Some(k) = self.kappa {
+            spec.kappa = k;
+        }
+        if let Some(s) = self.seed {
+            spec.base_seed = s;
+        }
+        spec
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::HeuristicKind;
+    use ljqo::Method;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_and_apply() {
+        let a = Args::parse_from(strs(&[
+            "--queries", "7", "--kappa", "2.5", "--seed", "99", "--out", "/tmp/x",
+        ]));
+        assert_eq!(a.queries_per_n, Some(7));
+        assert_eq!(a.kappa, Some(2.5));
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+        let spec = a.apply(GridSpec::new(vec![HeuristicKind::Method(Method::Ii)]));
+        assert_eq!(spec.queries_per_n, 7);
+        assert_eq!(spec.kappa, 2.5);
+        assert_eq!(spec.base_seed, 99);
+    }
+
+    #[test]
+    fn paper_scale_sets_counts() {
+        let a = Args::parse_from(strs(&["--paper-scale"]));
+        let spec = a.apply(GridSpec::new(vec![HeuristicKind::Method(Method::Ii)]));
+        assert_eq!(spec.queries_per_n, 50);
+        assert_eq!(spec.replicates, 2);
+    }
+
+    #[test]
+    fn explicit_queries_override_paper_scale() {
+        let a = Args::parse_from(strs(&["--paper-scale", "--queries", "3"]));
+        let spec = a.apply(GridSpec::new(vec![HeuristicKind::Method(Method::Ii)]));
+        assert_eq!(spec.queries_per_n, 3);
+        assert_eq!(spec.replicates, 2);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse_from(strs(&[]));
+        assert!(!a.paper_scale);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+}

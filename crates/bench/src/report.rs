@@ -1,0 +1,127 @@
+//! Rendering experiment results as text tables and JSON.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::grid::CostMatrix;
+
+/// A complete experiment report, serializable for `results/*.json`.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `"table1"` or `"fig4"`.
+    pub experiment: String,
+    /// Human description.
+    pub description: String,
+    /// Mean scaled costs, `rows[label][tau]`.
+    pub mean_scaled: Vec<Vec<f64>>,
+    /// Column labels (methods / criteria).
+    pub labels: Vec<String>,
+    /// Time-limit multipliers.
+    pub taus: Vec<f64>,
+    /// Number of queries aggregated.
+    pub n_queries: usize,
+    /// The full cost matrix for downstream analysis.
+    pub matrix: CostMatrix,
+}
+
+impl Report {
+    /// Build a report from a cost matrix.
+    pub fn new(experiment: &str, description: &str, matrix: CostMatrix) -> Self {
+        Report {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            mean_scaled: matrix.mean_scaled_table(),
+            labels: matrix.labels.clone(),
+            taus: matrix.taus.clone(),
+            n_queries: matrix.reference.len(),
+            matrix,
+        }
+    }
+}
+
+/// Render the classic paper layout: one row per time limit, one column per
+/// method/criterion, mean scaled costs in the cells.
+pub fn render_curve_table(report: &Report) -> String {
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{} — {} ({} queries)",
+        report.experiment, report.description, report.n_queries
+    );
+    let _ = write!(out, "{:>10} |", "Time");
+    for l in &report.labels {
+        let _ = write!(out, " {l:>8}");
+    }
+    let _ = writeln!(out);
+    let width = 12 + 9 * report.labels.len();
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for (t, &tau) in report.taus.iter().enumerate() {
+        let _ = write!(out, "{:>9.2}N² |", tau);
+        for row in &report.mean_scaled {
+            let _ = write!(out, " {:>8.2}", row[t]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Write the report as pretty JSON under `results/`.
+pub fn write_json(report: &Report, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", report.experiment));
+    let mut f = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_matrix() -> CostMatrix {
+        CostMatrix {
+            labels: vec!["IAI".into(), "II".into()],
+            taus: vec![1.5, 9.0],
+            query_ns: vec![10, 10],
+            costs: vec![
+                vec![vec![20.0, 10.0], vec![30.0, 12.0]],
+                vec![vec![40.0, 15.0], vec![90.0, 12.0]],
+            ],
+            reference: vec![10.0, 12.0],
+        }
+    }
+
+    #[test]
+    fn render_contains_labels_and_taus() {
+        let r = Report::new("test", "unit test", dummy_matrix());
+        let s = render_curve_table(&r);
+        assert!(s.contains("IAI"));
+        assert!(s.contains("9.00N²"));
+        assert!(s.contains("test — unit test (2 queries)"));
+    }
+
+    #[test]
+    fn mean_scaled_rows_match_matrix() {
+        let m = dummy_matrix();
+        let r = Report::new("t", "d", m);
+        // IAI at tau=9: scaled (10/10 + 12/12)/2 = 1.
+        assert!((r.mean_scaled[0][1] - 1.0).abs() < 1e-12);
+        // II at tau=1.5: (4 + 7.5)/2 = 5.75.
+        assert!((r.mean_scaled[1][0] - 5.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("ljqo-report-test");
+        let r = Report::new("unit", "d", dummy_matrix());
+        let path = write_json(&r, &dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"unit\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,155 @@
+//! Ergonomic query construction for examples and tests.
+
+use crate::predicate::JoinEdge;
+use crate::query::{CatalogError, Query};
+use crate::relation::{RelId, Relation};
+
+/// Fluent builder for [`Query`].
+///
+/// ```
+/// use ljqo_catalog::QueryBuilder;
+///
+/// let q = QueryBuilder::new()
+///     .relation("orders", 100_000)
+///     .relation_with_selection("customers", 10_000, 0.1)
+///     .relation("nations", 25)
+///     .join_on_distincts("orders", "customers", 10_000.0, 10_000.0)
+///     .join_on_distincts("customers", "nations", 25.0, 25.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.n_joins(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    relations: Vec<Relation>,
+    edges: Vec<JoinEdge>,
+}
+
+impl QueryBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a relation; its id is the order of insertion.
+    #[must_use]
+    pub fn relation(mut self, name: impl Into<String>, cardinality: u64) -> Self {
+        self.relations.push(Relation::new(name, cardinality));
+        self
+    }
+
+    /// Add a relation with one pushed-down selection.
+    #[must_use]
+    pub fn relation_with_selection(
+        mut self,
+        name: impl Into<String>,
+        cardinality: u64,
+        selectivity: f64,
+    ) -> Self {
+        self.relations
+            .push(Relation::new(name, cardinality).with_selection(selectivity));
+        self
+    }
+
+    /// Add a selection predicate to the most recently added relation.
+    /// Panics if no relation has been added yet.
+    #[must_use]
+    pub fn add_selection_to_last(mut self, selectivity: f64) -> Self {
+        let rel = self
+            .relations
+            .last_mut()
+            .expect("add_selection_to_last before any relation");
+        rel.selections
+            .push(crate::predicate::Selection::new(selectivity));
+        self
+    }
+
+    /// Look up a relation id by name. Panics if the name is unknown (builder
+    /// misuse is a programming error in examples/tests).
+    fn id_of(&self, name: &str) -> RelId {
+        let idx = self
+            .relations
+            .iter()
+            .position(|r| r.name == name)
+            .unwrap_or_else(|| panic!("unknown relation {name:?} in QueryBuilder"));
+        RelId::from(idx)
+    }
+
+    /// Add a join predicate by relation names with an explicit selectivity.
+    /// Distinct counts default to `1 / selectivity` on both sides, which is
+    /// consistent with the uniformity assumption.
+    #[must_use]
+    pub fn join(mut self, a: &str, b: &str, selectivity: f64) -> Self {
+        let (ia, ib) = (self.id_of(a), self.id_of(b));
+        let d = (1.0 / selectivity).max(1.0);
+        self.edges.push(JoinEdge::new(ia, ib, selectivity, d, d));
+        self
+    }
+
+    /// Add a join predicate by relation names with distinct-value counts;
+    /// the selectivity follows `1 / max(D_a, D_b)`.
+    #[must_use]
+    pub fn join_on_distincts(mut self, a: &str, b: &str, distinct_a: f64, distinct_b: f64) -> Self {
+        let (ia, ib) = (self.id_of(a), self.id_of(b));
+        self.edges
+            .push(JoinEdge::from_distincts(ia, ib, distinct_a, distinct_b));
+        self
+    }
+
+    /// Add a join predicate by relation ids.
+    #[must_use]
+    pub fn join_ids(mut self, edge: JoinEdge) -> Self {
+        self.edges.push(edge);
+        self
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<Query, CatalogError> {
+        Query::new(self.relations, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .join("a", "b", 0.1)
+            .build()
+            .unwrap();
+        assert_eq!(q.relation(RelId(0)).name, "a");
+        assert_eq!(q.relation(RelId(1)).name, "b");
+        assert!(q.graph().joined(RelId(0), RelId(1)));
+    }
+
+    #[test]
+    fn join_defaults_distincts_from_selectivity() {
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .join("a", "b", 0.05)
+            .build()
+            .unwrap();
+        let e = &q.graph().edges()[0];
+        assert!((e.distinct_a - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_name_panics() {
+        let _ = QueryBuilder::new().relation("a", 10).join("a", "zzz", 0.5);
+    }
+
+    #[test]
+    fn selection_is_recorded() {
+        let q = QueryBuilder::new()
+            .relation_with_selection("a", 100, 0.25)
+            .build()
+            .unwrap();
+        assert_eq!(q.cardinality(RelId(0)), 25.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The join graph: an undirected multigraph of join predicates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::predicate::JoinEdge;
+use crate::relation::RelId;
+
+/// Identifier of an edge within a [`JoinGraph`] (index into the edge list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Undirected multigraph over the relations of a query.
+///
+/// Stores the edge list plus a per-relation adjacency index so that the hot
+/// optimizer loops (validity checks, frontier scans) run without hashing.
+/// Parallel edges (several join predicates between the same pair) are
+/// allowed; the estimator multiplies their selectivities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinGraph {
+    n_relations: usize,
+    edges: Vec<JoinEdge>,
+    /// `adjacency[r]` lists the ids of edges incident to relation `r`.
+    adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl JoinGraph {
+    /// Build a graph over `n_relations` relations from an edge list.
+    ///
+    /// Panics if an edge references a relation `>= n_relations` or is a
+    /// self-loop.
+    pub fn new(n_relations: usize, edges: Vec<JoinEdge>) -> Self {
+        let mut adjacency = vec![Vec::new(); n_relations];
+        for (i, e) in edges.iter().enumerate() {
+            assert!(
+                e.a.index() < n_relations && e.b.index() < n_relations,
+                "edge {}-{} references a relation outside 0..{n_relations}",
+                e.a,
+                e.b
+            );
+            assert!(e.a != e.b, "self-loop on {}", e.a);
+            let id = EdgeId(i as u32);
+            adjacency[e.a.index()].push(id);
+            adjacency[e.b.index()].push(id);
+        }
+        JoinGraph {
+            n_relations,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Number of relations (nodes).
+    #[inline]
+    pub fn n_relations(&self) -> usize {
+        self.n_relations
+    }
+
+    /// All edges.
+    #[inline]
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &JoinEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Ids of edges incident to `rel`.
+    #[inline]
+    pub fn incident(&self, rel: RelId) -> &[EdgeId] {
+        &self.adjacency[rel.index()]
+    }
+
+    /// Degree of `rel` in the join graph (`deg(k)` in the paper): the
+    /// number of *distinct* relations it joins with.
+    pub fn degree(&self, rel: RelId) -> usize {
+        let mut neighbors: Vec<RelId> = self
+            .incident(rel)
+            .iter()
+            .filter_map(|&e| self.edge(e).other(rel))
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        neighbors.len()
+    }
+
+    /// Iterator over the distinct neighbor relations of `rel`.
+    pub fn neighbors(&self, rel: RelId) -> Vec<RelId> {
+        let mut neighbors: Vec<RelId> = self
+            .incident(rel)
+            .iter()
+            .filter_map(|&e| self.edge(e).other(rel))
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        neighbors
+    }
+
+    /// Product of the selectivities of all edges between `a` and `b`, or
+    /// `None` if they share no join predicate.
+    pub fn selectivity_between(&self, a: RelId, b: RelId) -> Option<f64> {
+        let mut sel: Option<f64> = None;
+        for &eid in self.incident(a) {
+            let e = self.edge(eid);
+            if e.other(a) == Some(b) {
+                *sel.get_or_insert(1.0) *= e.selectivity;
+            }
+        }
+        sel
+    }
+
+    /// Whether any join predicate links `a` and `b`.
+    pub fn joined(&self, a: RelId, b: RelId) -> bool {
+        self.incident(a)
+            .iter()
+            .any(|&eid| self.edge(eid).other(a) == Some(b))
+    }
+
+    /// Connected components, each a sorted list of relation ids. Components
+    /// are returned in order of their smallest member. Isolated relations
+    /// form singleton components (they can only be combined by cross
+    /// products).
+    pub fn components(&self) -> Vec<Vec<RelId>> {
+        let mut comp = vec![usize::MAX; self.n_relations];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for start in 0..self.n_relations {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(RelId(start as u32));
+            while let Some(r) = stack.pop() {
+                for &eid in self.incident(r) {
+                    if let Some(o) = self.edge(eid).other(r) {
+                        if comp[o.index()] == usize::MAX {
+                            comp[o.index()] = next;
+                            stack.push(o);
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+        let mut out = vec![Vec::new(); next];
+        for (i, &c) in comp.iter().enumerate() {
+            out[c].push(RelId(i as u32));
+        }
+        out
+    }
+
+    /// Whether the graph is connected (a single component covering every
+    /// relation). The empty graph over one relation counts as connected.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// A breadth-first spanning tree of the component containing `root`.
+    pub fn bfs_spanning_tree(&self, root: RelId) -> SpanningTree {
+        let mut parent = vec![None; self.n_relations];
+        let mut in_tree = vec![false; self.n_relations];
+        in_tree[root.index()] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        let mut members = vec![root];
+        while let Some(r) = queue.pop_front() {
+            for &eid in self.incident(r) {
+                if let Some(o) = self.edge(eid).other(r) {
+                    if !in_tree[o.index()] {
+                        in_tree[o.index()] = true;
+                        parent[o.index()] = Some((r, eid));
+                        members.push(o);
+                        queue.push_back(o);
+                    }
+                }
+            }
+        }
+        SpanningTree {
+            root,
+            parent,
+            members,
+        }
+    }
+}
+
+/// A rooted spanning tree of (one component of) a join graph.
+///
+/// `parent[r]` is `Some((p, e))` when relation `r` was reached from `p` via
+/// edge `e`; the root and relations outside the component have `None`.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    /// The root relation.
+    pub root: RelId,
+    /// Parent pointer and connecting edge for each relation, indexed by
+    /// relation id.
+    pub parent: Vec<Option<(RelId, EdgeId)>>,
+    /// Relations in the tree, in discovery order (root first).
+    pub members: Vec<RelId>,
+}
+
+impl SpanningTree {
+    /// Children of `rel` in the tree.
+    pub fn children(&self, rel: RelId) -> Vec<RelId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| self.parent[m.index()].map(|(p, _)| p) == Some(rel))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> JoinGraph {
+        let edges = (1..n)
+            .map(|i| JoinEdge::from_distincts(i - 1, i, 10.0, 10.0))
+            .collect();
+        JoinGraph::new(n, edges)
+    }
+
+    #[test]
+    fn chain_degrees_and_neighbors() {
+        let g = chain(4);
+        assert_eq!(g.degree(RelId(0)), 1);
+        assert_eq!(g.degree(RelId(1)), 2);
+        assert_eq!(g.neighbors(RelId(1)), vec![RelId(0), RelId(2)]);
+        assert!(g.joined(RelId(2), RelId(3)));
+        assert!(!g.joined(RelId(0), RelId(3)));
+    }
+
+    #[test]
+    fn parallel_edges_multiply_selectivity() {
+        let edges = vec![
+            JoinEdge::new(0u32, 1u32, 0.1, 10.0, 10.0),
+            JoinEdge::new(0u32, 1u32, 0.5, 10.0, 10.0),
+        ];
+        let g = JoinGraph::new(2, edges);
+        let s = g.selectivity_between(RelId(0), RelId(1)).unwrap();
+        assert!((s - 0.05).abs() < 1e-12);
+        // Degree counts distinct neighbors, not edges.
+        assert_eq!(g.degree(RelId(0)), 1);
+    }
+
+    #[test]
+    fn selectivity_between_unjoined_is_none() {
+        let g = chain(3);
+        assert_eq!(g.selectivity_between(RelId(0), RelId(2)), None);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let edges = vec![
+            JoinEdge::from_distincts(0u32, 1u32, 5.0, 5.0),
+            JoinEdge::from_distincts(3u32, 4u32, 5.0, 5.0),
+        ];
+        let g = JoinGraph::new(5, edges);
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![RelId(0), RelId(1)]);
+        assert_eq!(comps[1], vec![RelId(2)]);
+        assert_eq!(comps[2], vec![RelId(3), RelId(4)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        assert!(chain(6).is_connected());
+    }
+
+    #[test]
+    fn bfs_spanning_tree_covers_component() {
+        let g = chain(5);
+        let t = g.bfs_spanning_tree(RelId(2));
+        assert_eq!(t.members.len(), 5);
+        assert_eq!(t.root, RelId(2));
+        assert_eq!(t.parent[2], None);
+        // Parent chain from 0 leads to the root.
+        assert_eq!(t.parent[0].map(|(p, _)| p), Some(RelId(1)));
+        assert_eq!(t.parent[1].map(|(p, _)| p), Some(RelId(2)));
+        assert_eq!(t.children(RelId(2)), vec![RelId(1), RelId(3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        JoinGraph::new(2, vec![JoinEdge::from_distincts(0u32, 5u32, 2.0, 2.0)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ljqo-catalog — query model for large join query optimization
+//!
+//! This crate defines the *static* description of a join query as used by
+//! the optimizer study in Swami, "Optimization of Large Join Queries:
+//! Combining Heuristics and Combinatorial Techniques" (SIGMOD 1989) and its
+//! predecessor Swami & Gupta (SIGMOD 1988):
+//!
+//! * [`Relation`] — a base relation with a cardinality and local selection
+//!   predicates (selections are pushed down, so only their combined
+//!   selectivity matters to join ordering),
+//! * [`JoinEdge`] — a join predicate between two relations, carrying the
+//!   join selectivity and the distinct-value counts of the join columns,
+//! * [`JoinGraph`] — the undirected multigraph of join predicates,
+//! * [`Query`] — relations + join graph, validated,
+//! * [`QueryBuilder`] — ergonomic construction for examples and tests.
+//!
+//! The paper restricts attention to select-project-join queries where the
+//! number of joins `N` is between 10 and 100; nothing in this crate depends
+//! on that range, but the optimizer crates use `N = query.n_joins()` to
+//! scale their deterministic work budgets.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod builder;
+mod graph;
+mod predicate;
+mod query;
+mod relation;
+
+pub use builder::QueryBuilder;
+pub use graph::{EdgeId, JoinGraph, SpanningTree};
+pub use predicate::{JoinEdge, Selection};
+pub use query::{CatalogError, Query};
+pub use relation::{RelId, Relation};

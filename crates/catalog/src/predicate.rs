@@ -1,0 +1,163 @@
+//! Selection and join predicates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::relation::RelId;
+
+/// A local selection predicate on one relation.
+///
+/// Only the selectivity matters for join ordering; the paper draws
+/// selectivities from a fixed list (see `ljqo-workload`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Fraction of tuples that satisfy the predicate, in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+impl Selection {
+    /// Create a selection. Panics in debug builds if the selectivity is not
+    /// in `(0, 1]`.
+    pub fn new(selectivity: f64) -> Self {
+        debug_assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selection selectivity {selectivity} out of (0,1]"
+        );
+        Selection { selectivity }
+    }
+}
+
+/// A join predicate (edge in the join graph) between two relations.
+///
+/// Carries the statistics the paper's heuristics consume:
+///
+/// * `selectivity` — the join selectivity `J_kl`, i.e.
+///   `|R_k ⋈ R_l| = N_k · N_l · J_kl`;
+/// * `distinct_a` / `distinct_b` — the number of distinct values `D` in the
+///   join column on each side (used by the rank criterion and by KBZ).
+///
+/// Under the classical uniformity assumption `J_kl = 1 / max(D_a, D_b)`;
+/// [`JoinEdge::from_distincts`] constructs edges that way, but callers may
+/// also set an explicit selectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// One endpoint.
+    pub a: RelId,
+    /// The other endpoint.
+    pub b: RelId,
+    /// Join selectivity `J_ab` in `(0, 1]`.
+    pub selectivity: f64,
+    /// Distinct values in the join column of `a`.
+    pub distinct_a: f64,
+    /// Distinct values in the join column of `b`.
+    pub distinct_b: f64,
+}
+
+impl JoinEdge {
+    /// Create an edge with an explicit selectivity and distinct counts.
+    pub fn new(
+        a: impl Into<RelId>,
+        b: impl Into<RelId>,
+        selectivity: f64,
+        distinct_a: f64,
+        distinct_b: f64,
+    ) -> Self {
+        let e = JoinEdge {
+            a: a.into(),
+            b: b.into(),
+            selectivity,
+            distinct_a: distinct_a.max(1.0),
+            distinct_b: distinct_b.max(1.0),
+        };
+        debug_assert!(
+            e.selectivity > 0.0 && e.selectivity <= 1.0,
+            "join selectivity {selectivity} out of (0,1]"
+        );
+        debug_assert!(e.a != e.b, "self-join edge on {}", e.a);
+        e
+    }
+
+    /// Create an edge whose selectivity follows the uniformity assumption
+    /// `J = 1 / max(D_a, D_b)`.
+    pub fn from_distincts(
+        a: impl Into<RelId>,
+        b: impl Into<RelId>,
+        distinct_a: f64,
+        distinct_b: f64,
+    ) -> Self {
+        let da = distinct_a.max(1.0);
+        let db = distinct_b.max(1.0);
+        let sel = 1.0 / da.max(db);
+        JoinEdge::new(a, b, sel, da, db)
+    }
+
+    /// The endpoint other than `rel`; `None` if `rel` is not an endpoint.
+    pub fn other(&self, rel: RelId) -> Option<RelId> {
+        if rel == self.a {
+            Some(self.b)
+        } else if rel == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `rel` is one of the endpoints.
+    pub fn touches(&self, rel: RelId) -> bool {
+        rel == self.a || rel == self.b
+    }
+
+    /// Distinct count on the side of `rel`. Panics if `rel` is not an
+    /// endpoint.
+    pub fn distinct_on(&self, rel: RelId) -> f64 {
+        if rel == self.a {
+            self.distinct_a
+        } else if rel == self.b {
+            self.distinct_b
+        } else {
+            panic!("{rel} is not an endpoint of edge {}-{}", self.a, self.b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_distincts_uses_uniformity() {
+        let e = JoinEdge::from_distincts(0u32, 1u32, 10.0, 40.0);
+        assert!((e.selectivity - 1.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn other_and_touches() {
+        let e = JoinEdge::from_distincts(2u32, 5u32, 3.0, 4.0);
+        assert_eq!(e.other(RelId(2)), Some(RelId(5)));
+        assert_eq!(e.other(RelId(5)), Some(RelId(2)));
+        assert_eq!(e.other(RelId(9)), None);
+        assert!(e.touches(RelId(2)));
+        assert!(!e.touches(RelId(3)));
+    }
+
+    #[test]
+    fn distinct_on_each_side() {
+        let e = JoinEdge::from_distincts(0u32, 1u32, 7.0, 11.0);
+        assert_eq!(e.distinct_on(RelId(0)), 7.0);
+        assert_eq!(e.distinct_on(RelId(1)), 11.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn distinct_on_non_endpoint_panics() {
+        let e = JoinEdge::from_distincts(0u32, 1u32, 7.0, 11.0);
+        let _ = e.distinct_on(RelId(3));
+    }
+
+    #[test]
+    fn distinct_counts_floor_at_one() {
+        let e = JoinEdge::from_distincts(0u32, 1u32, 0.0, 0.5);
+        assert_eq!(e.distinct_a, 1.0);
+        assert_eq!(e.distinct_b, 1.0);
+        assert_eq!(e.selectivity, 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Base relations and their statistics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::predicate::Selection;
+
+/// Identifier of a relation within a [`crate::Query`].
+///
+/// Relation ids are dense indices `0..n_relations`; they index directly into
+/// `Query::relations` and into permutation vectors in the plan crate. A
+/// `u32` is ample (the paper tops out at 101 relations) and keeps hot plan
+/// structures small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for RelId {
+    fn from(v: u32) -> Self {
+        RelId(v)
+    }
+}
+
+impl From<usize> for RelId {
+    fn from(v: usize) -> Self {
+        RelId(u32::try_from(v).expect("relation index exceeds u32"))
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A base relation participating in the query.
+///
+/// Following the paper, selections are assumed to be pushed down below all
+/// joins, so the quantity relevant to join ordering is the *effective*
+/// cardinality: the base cardinality multiplied by the selectivities of all
+/// local selection predicates (`N_k` in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Human-readable name (used in plan display and examples).
+    pub name: String,
+    /// Number of tuples in the stored relation, before selections.
+    pub base_cardinality: u64,
+    /// Local selection predicates applied to this relation.
+    pub selections: Vec<Selection>,
+}
+
+impl Relation {
+    /// Create a relation with no selections.
+    pub fn new(name: impl Into<String>, base_cardinality: u64) -> Self {
+        Relation {
+            name: name.into(),
+            base_cardinality,
+            selections: Vec::new(),
+        }
+    }
+
+    /// Add a selection predicate with the given selectivity, returning
+    /// `self` for chaining.
+    #[must_use]
+    pub fn with_selection(mut self, selectivity: f64) -> Self {
+        self.selections.push(Selection::new(selectivity));
+        self
+    }
+
+    /// Combined selectivity of all pushed-down selections.
+    pub fn selection_selectivity(&self) -> f64 {
+        self.selections.iter().map(|s| s.selectivity).product()
+    }
+
+    /// Effective cardinality `N_k`: tuples surviving all selections.
+    ///
+    /// At least 1.0, so that downstream size estimates never collapse to
+    /// zero and cost ratios stay well-defined.
+    pub fn cardinality(&self) -> f64 {
+        (self.base_cardinality as f64 * self.selection_selectivity()).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_id_roundtrip() {
+        let id = RelId::from(7usize);
+        assert_eq!(id.index(), 7);
+        assert_eq!(RelId::from(7u32), id);
+        assert_eq!(id.to_string(), "R7");
+    }
+
+    #[test]
+    fn effective_cardinality_applies_selections() {
+        let r = Relation::new("emp", 1000)
+            .with_selection(0.5)
+            .with_selection(0.1);
+        assert!((r.cardinality() - 50.0).abs() < 1e-9);
+        assert!((r.selection_selectivity() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_cardinality_floors_at_one() {
+        let r = Relation::new("tiny", 10).with_selection(0.001);
+        assert_eq!(r.cardinality(), 1.0);
+    }
+
+    #[test]
+    fn no_selection_means_base_cardinality() {
+        let r = Relation::new("dept", 42);
+        assert_eq!(r.cardinality(), 42.0);
+        assert_eq!(r.selection_selectivity(), 1.0);
+    }
+}

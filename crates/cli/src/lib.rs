@@ -1,0 +1,205 @@
+//! # ljqo-cli — file format and plumbing for the `ljqo-opt` binary
+//!
+//! The CLI reads a query description from JSON, optimizes it with one of
+//! the paper's nine methods under a chosen cost model, and prints the
+//! plan (text or JSON). The input format is deliberately small:
+//!
+//! ```json
+//! {
+//!   "relations": [
+//!     { "name": "orders", "cardinality": 1500000 },
+//!     { "name": "customers", "cardinality": 150000, "selections": [0.2] }
+//!   ],
+//!   "joins": [
+//!     { "left": "orders", "right": "customers", "selectivity": 0.0000066 },
+//!     { "left": "orders", "right": "customers",
+//!       "distinct_left": 150000, "distinct_right": 150000 }
+//!   ]
+//! }
+//! ```
+//!
+//! A join must carry either an explicit `selectivity` or distinct counts
+//! (from which the uniformity assumption `J = 1/max(D_l, D_r)` derives
+//! one).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use serde::{Deserialize, Serialize};
+
+use ljqo_catalog::{CatalogError, Query, QueryBuilder};
+
+/// A relation in the input file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelationSpec {
+    /// Relation name; joins refer to it.
+    pub name: String,
+    /// Base cardinality.
+    pub cardinality: u64,
+    /// Selectivities of pushed-down selections (optional).
+    #[serde(default)]
+    pub selections: Vec<f64>,
+}
+
+/// A join predicate in the input file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// Name of one side.
+    pub left: String,
+    /// Name of the other side.
+    pub right: String,
+    /// Explicit join selectivity (overrides distinct counts).
+    #[serde(default)]
+    pub selectivity: Option<f64>,
+    /// Distinct values in the left join column.
+    #[serde(default)]
+    pub distinct_left: Option<f64>,
+    /// Distinct values in the right join column.
+    #[serde(default)]
+    pub distinct_right: Option<f64>,
+}
+
+/// The top-level query file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryFile {
+    /// Relations, in id order.
+    pub relations: Vec<RelationSpec>,
+    /// Join predicates.
+    pub joins: Vec<JoinSpec>,
+}
+
+/// Errors turning a [`QueryFile`] into a [`Query`].
+#[derive(Debug)]
+pub enum FileError {
+    /// A join referenced an unknown relation name.
+    UnknownRelation(String),
+    /// A join carried neither a selectivity nor distinct counts.
+    UnderspecifiedJoin(String, String),
+    /// Catalog-level validation failed.
+    Catalog(CatalogError),
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            FileError::UnderspecifiedJoin(l, r) => write!(
+                f,
+                "join {l}-{r} needs either a selectivity or distinct counts"
+            ),
+            FileError::Catalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+impl QueryFile {
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Convert into a validated [`Query`].
+    pub fn into_query(self) -> Result<Query, FileError> {
+        let mut builder = QueryBuilder::new();
+        let mut names = Vec::with_capacity(self.relations.len());
+        for rel in &self.relations {
+            names.push(rel.name.clone());
+            builder = builder.relation(&rel.name, rel.cardinality);
+            // Selections are attached via repeated with_selection through
+            // the builder's dedicated method.
+            for &sel in &rel.selections {
+                // Re-adding the relation would duplicate it; instead rebuild
+                // via relation_with_selection is not chainable for multiple
+                // selections, so we push onto the last relation directly.
+                builder = builder.add_selection_to_last(sel);
+            }
+        }
+        let check = |name: &String| -> Result<(), FileError> {
+            if names.contains(name) {
+                Ok(())
+            } else {
+                Err(FileError::UnknownRelation(name.clone()))
+            }
+        };
+        for join in &self.joins {
+            check(&join.left)?;
+            check(&join.right)?;
+            builder = match (join.selectivity, join.distinct_left, join.distinct_right) {
+                (Some(s), _, _) => builder.join(&join.left, &join.right, s),
+                (None, Some(dl), Some(dr)) => {
+                    builder.join_on_distincts(&join.left, &join.right, dl, dr)
+                }
+                _ => {
+                    return Err(FileError::UnderspecifiedJoin(
+                        join.left.clone(),
+                        join.right.clone(),
+                    ))
+                }
+            };
+        }
+        builder.build().map_err(FileError::Catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "relations": [
+            { "name": "a", "cardinality": 1000, "selections": [0.5, 0.2] },
+            { "name": "b", "cardinality": 200 },
+            { "name": "c", "cardinality": 50 }
+        ],
+        "joins": [
+            { "left": "a", "right": "b", "selectivity": 0.01 },
+            { "left": "b", "right": "c", "distinct_left": 40, "distinct_right": 25 }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_and_convert() {
+        let file = QueryFile::from_json(SAMPLE).unwrap();
+        let query = file.into_query().unwrap();
+        assert_eq!(query.n_relations(), 3);
+        assert_eq!(query.n_joins(), 2);
+        // Selections applied: 1000·0.5·0.2 = 100.
+        assert_eq!(query.cardinality(ljqo_catalog::RelId(0)), 100.0);
+        // Second join derives selectivity from distincts: 1/40.
+        let e = &query.graph().edges()[1];
+        assert!((e.selectivity - 1.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let mut file = QueryFile::from_json(SAMPLE).unwrap();
+        file.joins[0].right = "zzz".into();
+        assert!(matches!(
+            file.into_query(),
+            Err(FileError::UnknownRelation(n)) if n == "zzz"
+        ));
+    }
+
+    #[test]
+    fn underspecified_join_is_reported() {
+        let mut file = QueryFile::from_json(SAMPLE).unwrap();
+        file.joins[0].selectivity = None;
+        assert!(matches!(
+            file.into_query(),
+            Err(FileError::UnderspecifiedJoin(..))
+        ));
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let file = QueryFile::from_json(SAMPLE).unwrap();
+        let json = serde_json::to_string(&file).unwrap();
+        let again = QueryFile::from_json(&json).unwrap();
+        assert_eq!(
+            again.into_query().unwrap(),
+            QueryFile::from_json(SAMPLE).unwrap().into_query().unwrap()
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! `ljqo-opt` — optimize a join query described in JSON.
+//!
+//! ```text
+//! ljqo-opt QUERY.json [--method IAI] [--model memory|disk|multi]
+//!          [--tau 9] [--kappa 5] [--seed 0] [--json] [--all-methods]
+//! ```
+//!
+//! With `--json` the plan is emitted as machine-readable JSON; otherwise
+//! an EXPLAIN-style tree is printed. `--all-methods` optimizes with all
+//! nine methods and prints a comparison table.
+
+use std::process::ExitCode;
+
+use ljqo::prelude::*;
+use ljqo_cli::QueryFile;
+use ljqo_cost::MultiMethodCostModel;
+
+struct Options {
+    input: String,
+    method: Method,
+    model: String,
+    tau: f64,
+    kappa: f64,
+    seed: u64,
+    json: bool,
+    all_methods: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ljqo-opt QUERY.json [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI]\n\
+         \x20                       [--model memory|disk|multi] [--tau F] [--kappa F]\n\
+         \x20                       [--seed U64] [--json] [--all-methods]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: String::new(),
+        method: Method::Iai,
+        model: "memory".into(),
+        tau: 9.0,
+        kappa: 5.0,
+        seed: 0,
+        json: false,
+        all_methods: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--method" => {
+                let v = value("--method");
+                opts.method = Method::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown method {v:?}");
+                    usage()
+                });
+            }
+            "--model" => opts.model = value("--model"),
+            "--tau" => opts.tau = value("--tau").parse().unwrap_or_else(|_| usage()),
+            "--kappa" => opts.kappa = value("--kappa").parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json" => opts.json = true,
+            "--all-methods" => opts.all_methods = true,
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && !other.starts_with('-') => {
+                opts.input = other.to_string();
+            }
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if opts.input.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn model_for(name: &str) -> Box<dyn CostModel> {
+    match name {
+        "memory" => Box::new(MemoryCostModel::default()),
+        "disk" => Box::new(DiskCostModel::default()),
+        "multi" => Box::new(MultiMethodCostModel::default()),
+        other => {
+            eprintln!("error: unknown cost model {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let text = match std::fs::read_to_string(&opts.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match QueryFile::from_json(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: invalid query JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let query = match file.into_query() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = model_for(&opts.model);
+
+    let config_for = |method: Method| {
+        OptimizerConfig::new(method)
+            .with_time_limit(opts.tau)
+            .with_kappa(opts.kappa)
+            .with_seed(opts.seed)
+    };
+
+    if opts.all_methods {
+        println!(
+            "{:>6} {:>16} {:>12} {:>10}",
+            "method", "cost", "evals", "units"
+        );
+        for method in Method::ALL {
+            let r = optimize(&query, model.as_ref(), &config_for(method));
+            println!(
+                "{:>6} {:>16.6e} {:>12} {:>10}",
+                method.name(),
+                r.cost,
+                r.n_evals,
+                r.units_used
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let result = optimize(&query, model.as_ref(), &config_for(opts.method));
+    if opts.json {
+        let order: Vec<Vec<String>> = result
+            .plan
+            .segments
+            .iter()
+            .map(|seg| {
+                seg.rels()
+                    .iter()
+                    .map(|&r| query.relation(r).name.clone())
+                    .collect()
+            })
+            .collect();
+        let out = serde_json::json!({
+            "method": opts.method.name(),
+            "model": opts.model,
+            "cost": result.cost,
+            "segments": order,
+            "evaluations": result.n_evals,
+            "budget_units": result.units_used,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    } else {
+        println!(
+            "method {} under the {} cost model (τ = {}N², κ = {})",
+            opts.method.name(),
+            opts.model,
+            opts.tau,
+            opts.kappa
+        );
+        println!("estimated cost: {:.6e}", result.cost);
+        println!(
+            "search effort: {} evaluations / {} budget units\n",
+            result.n_evals, result.units_used
+        );
+        print!("{}", result.plan.to_tree().explain(&query));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,328 @@
+//! Bushy-tree dynamic programming — attacking the paper's open problem.
+//!
+//! §2: the search is restricted to outer linear join trees "based on the
+//! assumption that a significant fraction of the join trees with low
+//! processing cost is to be found in the space of outer linear join
+//! trees. The validation of this assumption is an open problem." This
+//! module computes the exact optimum over **all** cross-product-free
+//! bushy trees (both join operands may be intermediates) for small
+//! components, so the linear-tree optimum from [`crate::dp`] can be
+//! compared against it — the `ext_bushy` bench does exactly that.
+//!
+//! Complexity is `O(3^k)` over the `2^k` connected subsets (submask
+//! enumeration), practical to ~16 relations.
+
+use ljqo_catalog::{Query, RelId};
+use ljqo_cost::estimate::clamp_card;
+use ljqo_cost::{CostModel, JoinCtx};
+
+/// Maximum component size accepted by [`optimal_bushy_dp`].
+pub const BUSHY_MAX_RELATIONS: usize = 18;
+
+/// A (possibly bushy) join tree over base relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BushyTree {
+    /// A base relation scan.
+    Leaf(RelId),
+    /// A join of two subtrees (left = outer/probe, right = inner/build).
+    Join(Box<BushyTree>, Box<BushyTree>),
+}
+
+impl BushyTree {
+    /// Number of base relations in the tree.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            BushyTree::Leaf(_) => 1,
+            BushyTree::Join(l, r) => l.n_leaves() + r.n_leaves(),
+        }
+    }
+
+    /// Whether the tree is outer linear (every right operand is a leaf).
+    pub fn is_linear(&self) -> bool {
+        match self {
+            BushyTree::Leaf(_) => true,
+            BushyTree::Join(l, r) => matches!(**r, BushyTree::Leaf(_)) && l.is_linear(),
+        }
+    }
+
+    /// All leaves, left to right.
+    pub fn leaves(&self) -> Vec<RelId> {
+        match self {
+            BushyTree::Leaf(r) => vec![*r],
+            BushyTree::Join(l, r) => {
+                let mut v = l.leaves();
+                v.extend(r.leaves());
+                v
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BushyTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BushyTree::Leaf(r) => write!(f, "{r}"),
+            BushyTree::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+        }
+    }
+}
+
+/// The optimal cross-product-free **bushy** join tree of `component` and
+/// its cost.
+///
+/// `None` for singleton components; panics on oversized or disconnected
+/// components. The width convention for [`JoinCtx::outer_rels`] is
+/// `output width − 1`, consistent with the left-deep walks where the
+/// inner always contributes one relation.
+pub fn optimal_bushy_dp(
+    query: &Query,
+    component: &[RelId],
+    model: &dyn CostModel,
+) -> Option<(BushyTree, f64)> {
+    let k = component.len();
+    if k < 2 {
+        return None;
+    }
+    assert!(
+        k <= BUSHY_MAX_RELATIONS,
+        "bushy DP over {k} relations is O(3^{k}); limit is {BUSHY_MAX_RELATIONS}"
+    );
+    let n_states = 1usize << k;
+    let full = n_states - 1;
+
+    // Adjacency bitmasks within the component.
+    let mut adj = vec![0u32; k];
+    for (i, &ri) in component.iter().enumerate() {
+        for (j, &rj) in component.iter().enumerate() {
+            if i != j && query.graph().joined(ri, rj) {
+                adj[i] |= 1 << j;
+            }
+        }
+    }
+
+    // Connectivity and cardinality per subset.
+    let mut connected = vec![false; n_states];
+    let mut card = vec![0.0f64; n_states];
+    for mask in 1usize..n_states {
+        connected[mask] = is_connected_mask(mask as u32, &adj);
+        if connected[mask] {
+            card[mask] = subset_cardinality(query, component, mask as u32);
+        }
+    }
+
+    // DP over connected subsets: best (cost, split) with split = the
+    // outer-side submask (0 for leaves).
+    let mut cost = vec![f64::INFINITY; n_states];
+    let mut split = vec![0u32; n_states];
+    for i in 0..k {
+        cost[1 << i] = 0.0;
+    }
+    for mask in 1usize..n_states {
+        if !connected[mask] || (mask & (mask - 1)) == 0 {
+            continue; // disconnected or singleton
+        }
+        let width = mask.count_ones() as usize;
+        // Enumerate proper submasks as the outer side.
+        let mut sub = (mask - 1) & mask;
+        while sub != 0 {
+            let other = mask & !sub;
+            if connected[sub]
+                && connected[other]
+                && cost[sub].is_finite()
+                && cost[other].is_finite()
+            {
+                let step = model.join_cost(&JoinCtx {
+                    outer_card: card[sub],
+                    inner_card: card[other],
+                    output_card: card[mask],
+                    outer_rels: width - 1,
+                    is_cross_product: false,
+                });
+                let total = cost[sub] + cost[other] + step;
+                if total < cost[mask] {
+                    cost[mask] = total;
+                    split[mask] = sub as u32;
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+
+    assert!(
+        cost[full].is_finite(),
+        "component is not connected: no bushy tree covers it"
+    );
+    Some((rebuild(component, &split, full as u32), cost[full]))
+}
+
+fn rebuild(component: &[RelId], split: &[u32], mask: u32) -> BushyTree {
+    if mask & (mask - 1) == 0 {
+        return BushyTree::Leaf(component[mask.trailing_zeros() as usize]);
+    }
+    let outer = split[mask as usize];
+    let inner = mask & !outer;
+    BushyTree::Join(
+        Box::new(rebuild(component, split, outer)),
+        Box::new(rebuild(component, split, inner)),
+    )
+}
+
+fn is_connected_mask(mask: u32, adj: &[u32]) -> bool {
+    let start = mask.trailing_zeros();
+    let mut seen = 1u32 << start;
+    let mut frontier = seen;
+    while frontier != 0 {
+        let mut next = 0u32;
+        let mut f = frontier;
+        while f != 0 {
+            let i = f.trailing_zeros() as usize;
+            next |= adj[i] & mask & !seen;
+            f &= f - 1;
+        }
+        seen |= next;
+        frontier = next;
+    }
+    seen == mask
+}
+
+fn subset_cardinality(query: &Query, component: &[RelId], mask: u32) -> f64 {
+    let mut c = 1.0f64;
+    for (i, &r) in component.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            c = clamp_card(c * query.cardinality(r));
+        }
+    }
+    for e in query.graph().edges() {
+        let ia = component.iter().position(|&r| r == e.a);
+        let ib = component.iter().position(|&r| r == e.b);
+        if let (Some(ia), Some(ib)) = (ia, ib) {
+            if mask & (1 << ia) != 0 && mask & (1 << ib) != 0 {
+                c = clamp_card(c * e.selectivity);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimal_order_dp;
+    use ljqo_catalog::QueryBuilder;
+    use ljqo_cost::MemoryCostModel;
+
+    fn chain_query() -> Query {
+        QueryBuilder::new()
+            .relation("a", 3000)
+            .relation("b", 12)
+            .relation("c", 700)
+            .relation("d", 55)
+            .relation("e", 1400)
+            .join("a", "b", 0.01)
+            .join("b", "c", 0.002)
+            .join("c", "d", 0.05)
+            .join("d", "e", 0.001)
+            .build()
+            .unwrap()
+    }
+
+    /// Two heavy chains hanging off a hub: the classic shape where a
+    /// bushy plan (reduce each chain, then join the small results) beats
+    /// every linear plan.
+    fn bushy_friendly_query() -> Query {
+        QueryBuilder::new()
+            .relation("hub", 100_000)
+            .relation("l1", 80_000)
+            .relation("l2", 50)
+            .relation("r1", 90_000)
+            .relation("r2", 60)
+            .join("hub", "l1", 0.00002)
+            .join("l1", "l2", 0.001)
+            .join("hub", "r1", 0.00002)
+            .join("r1", "r2", 0.001)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bushy_optimum_never_exceeds_linear_optimum() {
+        let model = MemoryCostModel::default();
+        for q in [chain_query(), bushy_friendly_query()] {
+            let comp: Vec<RelId> = q.rel_ids().collect();
+            let (_, linear) = optimal_order_dp(&q, &comp, &model).unwrap();
+            let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap();
+            assert!(
+                bushy <= linear * (1.0 + 1e-12),
+                "bushy {bushy} > linear {linear}"
+            );
+            assert_eq!(tree.n_leaves(), comp.len());
+            // Every leaf appears exactly once.
+            let mut leaves = tree.leaves();
+            leaves.sort_unstable();
+            let mut expect = comp.clone();
+            expect.sort_unstable();
+            assert_eq!(leaves, expect);
+        }
+    }
+
+    #[test]
+    fn linear_trees_are_a_special_case() {
+        // When the bushy optimum IS linear, costs agree exactly with the
+        // linear DP (same recurrences, same width convention).
+        let q = chain_query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap();
+        let (_, linear) = optimal_order_dp(&q, &comp, &model).unwrap();
+        if tree.is_linear() {
+            assert!((bushy - linear).abs() <= linear * 1e-12);
+        } else {
+            assert!(bushy < linear);
+        }
+    }
+
+    #[test]
+    fn bushy_beats_linear_on_two_heavy_chains() {
+        let q = bushy_friendly_query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let (_, linear) = optimal_order_dp(&q, &comp, &model).unwrap();
+        let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap();
+        assert!(
+            !tree.is_linear() && bushy < linear,
+            "expected a strictly better bushy plan, got {tree} at {bushy} vs {linear}"
+        );
+    }
+
+    #[test]
+    fn display_and_shape_helpers() {
+        let t = BushyTree::Join(
+            Box::new(BushyTree::Join(
+                Box::new(BushyTree::Leaf(RelId(0))),
+                Box::new(BushyTree::Leaf(RelId(1))),
+            )),
+            Box::new(BushyTree::Join(
+                Box::new(BushyTree::Leaf(RelId(2))),
+                Box::new(BushyTree::Leaf(RelId(3))),
+            )),
+        );
+        assert_eq!(t.to_string(), "((R0 ⋈ R1) ⋈ (R2 ⋈ R3))");
+        assert_eq!(t.n_leaves(), 4);
+        assert!(!t.is_linear());
+        let linear = BushyTree::Join(
+            Box::new(BushyTree::Join(
+                Box::new(BushyTree::Leaf(RelId(0))),
+                Box::new(BushyTree::Leaf(RelId(1))),
+            )),
+            Box::new(BushyTree::Leaf(RelId(2))),
+        );
+        assert!(linear.is_linear());
+    }
+
+    #[test]
+    fn singleton_is_none() {
+        let q = chain_query();
+        let model = MemoryCostModel::default();
+        assert!(optimal_bushy_dp(&q, &[RelId(0)], &model).is_none());
+    }
+}

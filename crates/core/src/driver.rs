@@ -1,0 +1,325 @@
+//! End-to-end optimization driver.
+//!
+//! Handles what the per-component methods do not: splitting a query into
+//! join-graph components, allotting the deterministic budget, running the
+//! chosen method per component, and assembling the final [`Plan`] with
+//! cross products postponed to the end (the paper's heuristic for
+//! disconnected join graphs).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ljqo_catalog::Query;
+use ljqo_cost::estimate::{clamp_card, final_result_size};
+use ljqo_cost::{CostModel, Evaluator, JoinCtx, TimeLimit};
+use ljqo_plan::{JoinOrder, Plan};
+
+use crate::methods::{Method, MethodRunner};
+
+/// Configuration for [`optimize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Which of the paper's nine methods to run.
+    pub method: Method,
+    /// The time limit `τ·N²` (the paper sweeps `τ` from 0.3 to 9).
+    pub time_limit: TimeLimit,
+    /// Budget calibration: units of work per `N²` (see `ljqo-cost`).
+    pub kappa: f64,
+    /// RNG seed; runs are fully deterministic given the seed.
+    pub seed: u64,
+    /// Early stopping: stop a component's search once the best solution is
+    /// within this relative factor of the cost model's lower bound (paper
+    /// §3: stop "when we are sufficiently close to the lower bound").
+    /// `None` disables early stopping. `Some(0.1)` stops within 10%.
+    pub early_stop: Option<f64>,
+    /// Method parameters.
+    pub runner: MethodRunner,
+}
+
+impl OptimizerConfig {
+    /// A configuration with the paper's most generous time limit (`9N²`)
+    /// and default calibration.
+    pub fn new(method: Method) -> Self {
+        OptimizerConfig {
+            method,
+            time_limit: TimeLimit::of(9.0),
+            kappa: 5.0,
+            seed: 0,
+            early_stop: None,
+            runner: MethodRunner::default(),
+        }
+    }
+
+    /// Set the time limit multiplier `τ`.
+    #[must_use]
+    pub fn with_time_limit(mut self, tau: f64) -> Self {
+        self.time_limit = TimeLimit::of(tau);
+        self
+    }
+
+    /// Set the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the budget calibration constant.
+    #[must_use]
+    pub fn with_kappa(mut self, kappa: f64) -> Self {
+        self.kappa = kappa;
+        self
+    }
+
+    /// Enable early stopping within `epsilon` of the model's lower bound.
+    #[must_use]
+    pub fn with_early_stop(mut self, epsilon: f64) -> Self {
+        self.early_stop = Some(epsilon);
+        self
+    }
+}
+
+/// The outcome of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The chosen plan (one segment per join-graph component, cross
+    /// products last).
+    pub plan: Plan,
+    /// Estimated total cost, including cross products between segments.
+    pub cost: f64,
+    /// Budget units consumed.
+    pub units_used: u64,
+    /// Full plan evaluations performed.
+    pub n_evals: u64,
+}
+
+/// Optimize `query` under `model` with the given configuration.
+///
+/// The budget `τ·N²·κ` is split across the join-graph components in
+/// proportion to the square of their sizes (each component's search space
+/// scales with its own `N²`), with a floor so every component can at least
+/// evaluate a couple of states. Singleton components cost nothing to plan.
+pub fn optimize(query: &Query, model: &dyn CostModel, config: &OptimizerConfig) -> Optimized {
+    let components = query.graph().components();
+    let n = query.n_joins().max(1);
+    let total_budget = config.time_limit.units(n, config.kappa);
+
+    let weight_sum: u64 = components
+        .iter()
+        .map(|c| (c.len() * c.len()) as u64)
+        .sum::<u64>()
+        .max(1);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let mut segments: Vec<(JoinOrder, f64)> = Vec::with_capacity(components.len());
+    let mut units_used = 0;
+    let mut n_evals = 0;
+    for comp in &components {
+        let share = total_budget.saturating_mul((comp.len() * comp.len()) as u64) / weight_sum;
+        let budget = share.max(4 * comp.len() as u64);
+        let mut ev = Evaluator::with_budget(query, model, budget);
+        if let Some(eps) = config.early_stop {
+            let lb = model.lower_bound(query, comp);
+            if lb > 0.0 {
+                ev.set_stop_threshold(lb * (1.0 + eps));
+            }
+        }
+        config
+            .runner
+            .run(config.method, &mut ev, comp, &mut rng);
+        if ev.best().is_none() {
+            // Guaranteed fallback so a plan always exists.
+            config.runner.seed_random(&mut ev, comp, &mut rng);
+        }
+        units_used += ev.used();
+        n_evals += ev.n_evals();
+        let (order, cost) = ev.best().expect("fallback seeded a state");
+        segments.push((order.clone(), cost));
+    }
+
+    // Cross products last, smallest component results first so the running
+    // outer operand stays as small as possible.
+    segments.sort_by(|a, b| {
+        let sa = final_result_size(query, a.0.rels());
+        let sb = final_result_size(query, b.0.rels());
+        sa.partial_cmp(&sb).unwrap()
+    });
+
+    let mut total_cost: f64 = segments.iter().map(|&(_, c)| c).sum();
+    let mut running = final_result_size(query, segments[0].0.rels());
+    for (order, _) in segments.iter().skip(1) {
+        let inner = final_result_size(query, order.rels());
+        let output = clamp_card(running * inner);
+        total_cost += model.join_cost(&JoinCtx {
+            outer_card: running,
+            inner_card: inner,
+            output_card: output,
+            outer_rels: order.len(),
+            is_cross_product: true,
+        });
+        running = output;
+    }
+
+    Optimized {
+        plan: Plan {
+            segments: segments.into_iter().map(|(o, _)| o).collect(),
+        },
+        cost: total_cost,
+        units_used,
+        n_evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::{QueryBuilder, RelId};
+    use ljqo_cost::{DiskCostModel, MemoryCostModel};
+    use ljqo_plan::validity::is_valid;
+
+    fn connected_query() -> Query {
+        QueryBuilder::new()
+            .relation("a", 3000)
+            .relation("b", 12)
+            .relation("c", 700)
+            .relation("d", 55)
+            .relation("e", 1400)
+            .join("a", "b", 0.01)
+            .join("b", "c", 0.002)
+            .join("c", "d", 0.05)
+            .join("d", "e", 0.001)
+            .build()
+            .unwrap()
+    }
+
+    fn disconnected_query() -> Query {
+        QueryBuilder::new()
+            .relation("a", 500)
+            .relation("b", 40)
+            .relation("c", 9000)
+            .relation("d", 70)
+            .relation("lonely", 3)
+            .join("a", "b", 0.01)
+            .join("c", "d", 0.001)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn optimize_connected_query_yields_single_segment() {
+        let q = connected_query();
+        let model = MemoryCostModel::default();
+        let r = optimize(&q, &model, &OptimizerConfig::new(Method::Iai).with_seed(1));
+        assert_eq!(r.plan.segments.len(), 1);
+        assert_eq!(r.plan.n_relations(), 5);
+        assert!(is_valid(q.graph(), r.plan.segments[0].rels()));
+        assert!(r.cost.is_finite() && r.cost > 0.0);
+        assert!(r.units_used > 0 && r.n_evals > 0);
+    }
+
+    #[test]
+    fn optimize_reaches_dp_optimum_on_small_query() {
+        let q = connected_query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let (_, opt) = crate::dp::optimal_order_dp(&q, &comp, &model).unwrap();
+        let r = optimize(&q, &model, &OptimizerConfig::new(Method::Iai).with_seed(42));
+        assert!(
+            r.cost <= opt * 1.0 + 1e-9,
+            "IAI at 9N² should find the optimum of a 4-join query: {} vs {opt}",
+            r.cost
+        );
+    }
+
+    #[test]
+    fn optimize_disconnected_query_uses_cross_products_late() {
+        let q = disconnected_query();
+        let model = MemoryCostModel::default();
+        let r = optimize(&q, &model, &OptimizerConfig::new(Method::Ii).with_seed(7));
+        assert_eq!(r.plan.segments.len(), 3);
+        // Every segment is a valid order of its own component.
+        for seg in &r.plan.segments {
+            assert!(is_valid(q.graph(), seg.rels()), "{seg}");
+        }
+        // Segments ascend by result size; the singleton (3 tuples) first.
+        assert_eq!(r.plan.segments[0].rels(), &[RelId(4)]);
+        assert_eq!(r.plan.n_relations(), 5);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let q = connected_query();
+        let model = DiskCostModel::default();
+        let cfg = OptimizerConfig::new(Method::Sa).with_seed(1234);
+        let a = optimize(&q, &model, &cfg);
+        let b = optimize(&q, &model, &cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.units_used, b.units_used);
+    }
+
+    #[test]
+    fn different_seeds_may_walk_differently_but_stay_valid() {
+        let q = connected_query();
+        let model = MemoryCostModel::default();
+        for seed in 0..5 {
+            let cfg = OptimizerConfig::new(Method::Agi)
+                .with_seed(seed)
+                .with_time_limit(0.5);
+            let r = optimize(&q, &model, &cfg);
+            assert!(is_valid(q.graph(), r.plan.segments[0].rels()));
+        }
+    }
+
+    #[test]
+    fn early_stopping_saves_budget_when_bound_is_reachable() {
+        // A star query whose optimum is easy to hit: early stopping with a
+        // generous epsilon must terminate well before the 9N² budget.
+        let q = QueryBuilder::new()
+            .relation("hub", 10)
+            .relation("s1", 1000)
+            .relation("s2", 2000)
+            .relation("s3", 1500)
+            .join("hub", "s1", 0.001)
+            .join("hub", "s2", 0.0005)
+            .join("hub", "s3", 0.0007)
+            .build()
+            .unwrap();
+        let model = MemoryCostModel::default();
+        let without = optimize(&q, &model, &OptimizerConfig::new(Method::Ii).with_seed(3));
+        let with = optimize(
+            &q,
+            &model,
+            &OptimizerConfig::new(Method::Ii)
+                .with_seed(3)
+                .with_early_stop(5.0),
+        );
+        assert!(
+            with.units_used < without.units_used,
+            "early stop used {} vs {} without",
+            with.units_used,
+            without.units_used
+        );
+        // The early-stopped plan is still valid and costed.
+        assert!(is_valid(q.graph(), with.plan.segments[0].rels()));
+        assert!(with.cost.is_finite());
+    }
+
+    #[test]
+    fn budget_scales_with_tau() {
+        let q = connected_query();
+        let model = MemoryCostModel::default();
+        let small = optimize(
+            &q,
+            &model,
+            &OptimizerConfig::new(Method::Ii).with_time_limit(0.5),
+        );
+        let large = optimize(
+            &q,
+            &model,
+            &OptimizerConfig::new(Method::Ii).with_time_limit(9.0),
+        );
+        assert!(large.units_used > small.units_used);
+        assert!(large.cost <= small.cost);
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's evaluation statistics (§6.1).
+//!
+//! Solution costs are *scaled* by dividing by the best cost obtained for
+//! the same query at the most generous time limit (`9N²`). Because the
+//! mean is easily distorted by catastrophic plans — and "once a solution
+//! is considered poor, we are not much interested in how poor it is" — any
+//! scaled cost of 10 or more is an *outlying value* and is coerced to 10
+//! before averaging.
+
+/// Scaled costs at or above this value are outliers, coerced to the value
+/// itself.
+pub const OUTLIER_CAP: f64 = 10.0;
+
+/// Scale `cost` against `reference` (the best cost known for the query)
+/// and coerce outliers.
+///
+/// A non-positive or non-finite reference yields the cap (a query whose
+/// best plan is free cannot be meaningfully scaled).
+pub fn scaled_cost(cost: f64, reference: f64) -> f64 {
+    if !(reference.is_finite() && reference > 0.0) {
+        return if cost <= reference { 1.0 } else { OUTLIER_CAP };
+    }
+    (cost / reference).min(OUTLIER_CAP)
+}
+
+/// Mean of scaled costs over queries: `costs[q]` is one method's solution
+/// cost for query `q`, `references[q]` the best cost for that query.
+///
+/// Panics if the slices differ in length; returns NaN for no queries.
+pub fn mean_scaled_cost(costs: &[f64], references: &[f64]) -> f64 {
+    assert_eq!(costs.len(), references.len());
+    let sum: f64 = costs
+        .iter()
+        .zip(references)
+        .map(|(&c, &r)| scaled_cost(c, r))
+        .sum();
+    sum / costs.len() as f64
+}
+
+/// Per-query best over several methods' costs: the scaling reference the
+/// paper uses ("the best solution costs obtained at the time limit of
+/// 9N²"). `rows[m][q]` is method `m`'s cost on query `q`.
+pub fn per_query_best(rows: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!rows.is_empty());
+    let n_q = rows[0].len();
+    let mut best = vec![f64::INFINITY; n_q];
+    for row in rows {
+        assert_eq!(row.len(), n_q, "ragged cost matrix");
+        for (b, &c) in best.iter_mut().zip(row) {
+            if c < *b {
+                *b = c;
+            }
+        }
+    }
+    best
+}
+
+/// Average replicates: the paper runs each algorithm twice per query with
+/// different seeds and averages. `replicates[r][q]` is replicate `r`'s
+/// cost on query `q`.
+pub fn average_replicates(replicates: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!replicates.is_empty());
+    let n_q = replicates[0].len();
+    let mut out = vec![0.0; n_q];
+    for rep in replicates {
+        assert_eq!(rep.len(), n_q, "ragged replicate matrix");
+        for (o, &c) in out.iter_mut().zip(rep) {
+            *o += c;
+        }
+    }
+    for o in &mut out {
+        *o /= replicates.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_and_outlier_coercion() {
+        assert_eq!(scaled_cost(50.0, 10.0), 5.0);
+        assert_eq!(scaled_cost(100.0, 10.0), 10.0); // exactly 10x -> coerced
+        assert_eq!(scaled_cost(1e9, 10.0), 10.0);
+        assert_eq!(scaled_cost(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_reference() {
+        assert_eq!(scaled_cost(5.0, 0.0), OUTLIER_CAP);
+        assert_eq!(scaled_cost(0.0, 0.0), 1.0);
+        assert_eq!(scaled_cost(5.0, f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn mean_scaled_cost_averages() {
+        let costs = [10.0, 40.0, 1e12];
+        let refs = [10.0, 10.0, 10.0];
+        // scaled: 1, 4, 10 -> mean 5.
+        assert!((mean_scaled_cost(&costs, &refs) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_query_best_is_columnwise_min() {
+        let rows = vec![vec![3.0, 8.0], vec![5.0, 2.0], vec![4.0, 9.0]];
+        assert_eq!(per_query_best(&rows), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn replicate_averaging() {
+        let reps = vec![vec![2.0, 10.0], vec![4.0, 30.0]];
+        assert_eq!(average_replicates(&reps), vec![3.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_matrix_panics() {
+        let rows = vec![vec![1.0], vec![1.0, 2.0]];
+        let _ = per_query_best(&rows);
+    }
+}

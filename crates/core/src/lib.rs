@@ -1,0 +1,79 @@
+//! # ljqo — large join query optimization
+//!
+//! A faithful reproduction of Arun Swami's SIGMOD 1989 study
+//! *"Optimization of Large Join Queries: Combining Heuristics and
+//! Combinatorial Techniques"* (extending Swami & Gupta, SIGMOD 1988): the
+//! problem of picking a good join order for queries with 10–100 joins,
+//! where System-R-style dynamic programming is infeasible.
+//!
+//! ## The pieces
+//!
+//! * [`IterativeImprovement`] — repeated greedy descents from random valid
+//!   start states (SG88's best general technique).
+//! * [`SimulatedAnnealing`] — the Johnson et al. flavored annealer SG88
+//!   found second-best.
+//! * Heuristics (re-exported from `ljqo-heuristics`): augmentation, KBZ,
+//!   and local improvement.
+//! * [`Method`] — the paper's nine combinations: **II**, **SA**, **SAA**,
+//!   **SAK**, **IAI**, **IKI**, **IAL**, **AGI**, **KBI**. The paper's
+//!   headline result: **IAI** (augmentation-seeded iterative improvement)
+//!   wins at generous time limits, **AGI** (augmentation first, then
+//!   iterative improvement) wins below ≈ `1.8N²`.
+//! * [`optimize`] — the end-to-end driver: splits the query into join-graph
+//!   components, budgets and optimizes each, and assembles a
+//!   [`Plan`](ljqo_plan::Plan) with
+//!   late cross products.
+//! * [`dp`] — exact System-R-style dynamic programming over valid
+//!   left-deep trees, feasible only for small `N`; used as a test oracle
+//!   and a baseline.
+//! * [`eval`] — the paper's scaled-cost statistics (outlying values coerced
+//!   to 10).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ljqo::prelude::*;
+//!
+//! let query = QueryBuilder::new()
+//!     .relation("orders", 100_000)
+//!     .relation("customers", 10_000)
+//!     .relation_with_selection("nations", 25, 0.5)
+//!     .join_on_distincts("orders", "customers", 10_000.0, 10_000.0)
+//!     .join_on_distincts("customers", "nations", 25.0, 25.0)
+//!     .build()
+//!     .unwrap();
+//!
+//! let model = MemoryCostModel::default();
+//! let config = OptimizerConfig::new(Method::Iai).with_seed(7);
+//! let result = optimize(&query, &model, &config);
+//! assert!(result.cost.is_finite());
+//! println!("{}", result.plan.to_tree().explain(&query));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod bushy;
+pub mod dp;
+mod driver;
+pub mod eval;
+mod ii;
+mod methods;
+pub mod parallel;
+pub mod prelude;
+mod sa;
+mod sampling;
+pub mod trace;
+
+pub use driver::{optimize, Optimized, OptimizerConfig};
+pub use ii::IterativeImprovement;
+pub use methods::{Method, MethodRunner};
+pub use sa::SimulatedAnnealing;
+pub use sampling::RandomSampling;
+
+// Re-export the component crates so downstream users need only `ljqo`.
+pub use ljqo_catalog as catalog;
+pub use ljqo_cost as cost;
+pub use ljqo_heuristics as heuristics;
+pub use ljqo_plan as plan;

@@ -1,0 +1,22 @@
+//! Everything a typical user needs, in one import.
+//!
+//! ```
+//! use ljqo::prelude::*;
+//! ```
+
+pub use crate::bushy::{optimal_bushy_dp, BushyTree};
+pub use crate::dp::{optimal_order_dp, optimal_order_exhaustive};
+pub use crate::eval::{mean_scaled_cost, per_query_best, scaled_cost, OUTLIER_CAP};
+pub use crate::{optimize, Optimized, OptimizerConfig};
+pub use crate::parallel::{run_parallel, ParallelResult};
+pub use crate::trace::{trace_run, Trace, TracePoint};
+pub use crate::{IterativeImprovement, Method, MethodRunner, RandomSampling, SimulatedAnnealing};
+
+pub use ljqo_catalog::{JoinEdge, JoinGraph, Query, QueryBuilder, RelId, Relation};
+pub use ljqo_cost::{
+    CostModel, DiskCostModel, Evaluator, JoinCtx, MemoryCostModel, TimeLimit,
+};
+pub use ljqo_heuristics::{
+    AugmentationCriterion, AugmentationHeuristic, KbzHeuristic, LocalImprovement, MstWeight,
+};
+pub use ljqo_plan::{JoinOrder, JoinTree, Move, MoveGenerator, MoveSet, Plan};

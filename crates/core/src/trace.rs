@@ -1,0 +1,182 @@
+//! Search trajectory tracing.
+//!
+//! Records the best-so-far cost as a function of budget consumed — the
+//! raw material of the paper's quality-vs-time figures, exposed per run
+//! so users can plot and debug individual searches. The
+//! [`trace_run`] helper wraps any method with a fine-grained checkpoint
+//! grid; for coarse per-τ curves the experiment harness uses evaluator
+//! snapshots directly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use ljqo_catalog::Query;
+use ljqo_cost::{CostModel, Evaluator, TimeLimit};
+
+use crate::methods::{Method, MethodRunner};
+
+/// One point of a search trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TracePoint {
+    /// Budget units consumed.
+    pub units: u64,
+    /// Best cost found within that budget.
+    pub best_cost: f64,
+}
+
+/// A full trajectory of one method on one query.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trace {
+    /// The method traced.
+    pub method: String,
+    /// Trajectory points, ascending in units.
+    pub points: Vec<TracePoint>,
+    /// Final best cost.
+    pub final_cost: f64,
+    /// Total units consumed.
+    pub units_used: u64,
+}
+
+impl Trace {
+    /// Render as CSV (`units,best_cost` lines with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("units,best_cost\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{}\n", p.units, p.best_cost));
+        }
+        out
+    }
+}
+
+/// Run `method` on the (single-component) `query` with `resolution`
+/// evenly spaced checkpoints up to the time limit, returning the
+/// trajectory.
+///
+/// Panics if the query's join graph is disconnected (trace one component
+/// at a time).
+#[allow(clippy::too_many_arguments)] // a flat tracing entry point; all knobs are orthogonal
+pub fn trace_run(
+    query: &Query,
+    model: &dyn CostModel,
+    method: Method,
+    runner: &MethodRunner,
+    time_limit: TimeLimit,
+    kappa: f64,
+    resolution: usize,
+    seed: u64,
+) -> Trace {
+    let components = query.graph().components();
+    assert_eq!(components.len(), 1, "trace_run wants a connected query");
+    let component = &components[0];
+
+    let budget = time_limit.units(query.n_joins().max(1), kappa);
+    let resolution = resolution.max(2) as u64;
+    let checkpoints: Vec<u64> = (1..=resolution)
+        .map(|i| (budget * i) / resolution)
+        .collect();
+
+    let mut ev = Evaluator::with_budget(query, model, budget);
+    ev.set_checkpoints(checkpoints);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    runner.run(method, &mut ev, component, &mut rng);
+    let used = ev.used();
+    let (_, final_cost, snaps) = ev.finish();
+    Trace {
+        method: method.name().to_string(),
+        points: snaps
+            .into_iter()
+            .map(|s| TracePoint {
+                units: s.units,
+                best_cost: s.best_cost,
+            })
+            .collect(),
+        final_cost,
+        units_used: used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::QueryBuilder;
+    use ljqo_cost::MemoryCostModel;
+
+    fn query() -> Query {
+        QueryBuilder::new()
+            .relation("a", 3000)
+            .relation("b", 12)
+            .relation("c", 700)
+            .relation("d", 55)
+            .relation("e", 1400)
+            .join("a", "b", 0.01)
+            .join("b", "c", 0.002)
+            .join("c", "d", 0.05)
+            .join("d", "e", 0.001)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let t = trace_run(
+            &q,
+            &model,
+            Method::Ii,
+            &MethodRunner::default(),
+            TimeLimit::of(3.0),
+            5.0,
+            32,
+            7,
+        );
+        assert_eq!(t.points.len(), 32);
+        assert!(t
+            .points
+            .windows(2)
+            .all(|w| w[1].best_cost <= w[0].best_cost));
+        assert_eq!(t.points.last().unwrap().best_cost.min(t.final_cost), t.final_cost);
+        assert!(t.points.windows(2).all(|w| w[0].units < w[1].units));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let t = trace_run(
+            &q,
+            &model,
+            Method::Agi,
+            &MethodRunner::default(),
+            TimeLimit::of(1.0),
+            5.0,
+            8,
+            3,
+        );
+        let csv = t.to_csv();
+        assert!(csv.starts_with("units,best_cost\n"));
+        assert_eq!(csv.lines().count(), 9);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let mk = || {
+            trace_run(
+                &q,
+                &model,
+                Method::Sa,
+                &MethodRunner::default(),
+                TimeLimit::of(2.0),
+                5.0,
+                16,
+                11,
+            )
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.final_cost, b.final_cost);
+    }
+}

@@ -1,0 +1,314 @@
+//! Budgeted cost evaluation with best-so-far tracking.
+
+use ljqo_catalog::{Query, RelId};
+use ljqo_plan::JoinOrder;
+
+use crate::estimate::SizeWalker;
+use crate::model::CostModel;
+
+/// Best-so-far cost recorded when the budget crossed a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// The checkpoint, in budget units.
+    pub units: u64,
+    /// Best cost of any state fully evaluated within that budget
+    /// (`f64::INFINITY` if none was).
+    pub best_cost: f64,
+}
+
+/// Budgeted evaluator: the optimizer's only gateway to the cost model.
+///
+/// * Charges one budget unit per full plan evaluation (`cost`), and lets
+///   heuristics charge proportionally for their own work (`charge`) — one
+///   unit corresponds to `O(N)` elementary operations, the cost of one
+///   evaluation.
+/// * Tracks the best (lowest-cost) state evaluated so far, which is what
+///   an anytime optimizer returns when stopped.
+/// * Snapshots the best cost whenever consumption crosses one of the
+///   configured checkpoints, so a single run yields the whole
+///   quality-vs-time-limit curve the paper plots.
+pub struct Evaluator<'a> {
+    query: &'a Query,
+    model: &'a dyn CostModel,
+    walker: SizeWalker,
+    limit: u64,
+    used: u64,
+    n_evals: u64,
+    best_cost: f64,
+    best_order: Option<JoinOrder>,
+    checkpoints: Vec<u64>,
+    next_checkpoint: usize,
+    snapshots: Vec<Snapshot>,
+    /// Early-stopping threshold: once the best cost is at or below this,
+    /// `exhausted()` reports true (paper §3: "The optimizer can stop if it
+    /// obtains a solution whose cost is sufficiently close to a lower
+    /// bound on the cost of the optimal solution").
+    stop_threshold: f64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator with no budget limit.
+    pub fn new(query: &'a Query, model: &'a dyn CostModel) -> Self {
+        Self::with_budget(query, model, u64::MAX)
+    }
+
+    /// An evaluator limited to `limit` budget units.
+    pub fn with_budget(query: &'a Query, model: &'a dyn CostModel, limit: u64) -> Self {
+        Evaluator {
+            query,
+            model,
+            walker: SizeWalker::new(query.n_relations()),
+            limit,
+            used: 0,
+            n_evals: 0,
+            best_cost: f64::INFINITY,
+            best_order: None,
+            checkpoints: Vec::new(),
+            next_checkpoint: 0,
+            snapshots: Vec::new(),
+            stop_threshold: -1.0,
+        }
+    }
+
+    /// Install an early-stopping threshold, typically derived from the
+    /// model's lower bound: `lb * (1 + epsilon)`. Once the best cost
+    /// reaches the threshold, [`Evaluator::exhausted`] reports true and
+    /// budget-driven methods wind down.
+    pub fn set_stop_threshold(&mut self, threshold: f64) {
+        self.stop_threshold = threshold;
+    }
+
+    /// Install snapshot checkpoints (must be ascending). Replaces any
+    /// existing checkpoints; snapshots already taken are kept.
+    pub fn set_checkpoints(&mut self, checkpoints: Vec<u64>) {
+        debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+        self.checkpoints = checkpoints;
+        self.next_checkpoint = 0;
+    }
+
+    /// The query under optimization.
+    #[inline]
+    pub fn query(&self) -> &'a Query {
+        self.query
+    }
+
+    /// The cost model in use.
+    #[inline]
+    pub fn model(&self) -> &'a dyn CostModel {
+        self.model
+    }
+
+    /// Evaluate the cost of `order`, charging one budget unit and updating
+    /// the best-so-far state.
+    pub fn cost(&mut self, order: &JoinOrder) -> f64 {
+        self.charge(1);
+        let c = self
+            .model
+            .order_cost_with(self.query, order.rels(), &mut self.walker);
+        self.n_evals += 1;
+        if c < self.best_cost {
+            self.best_cost = c;
+            self.best_order = Some(order.clone());
+        }
+        c
+    }
+
+    /// Evaluate a raw relation slice (used by heuristics mid-construction).
+    pub fn cost_slice(&mut self, rels: &[RelId]) -> f64 {
+        self.charge(1);
+        let c = self.model.order_cost_with(self.query, rels, &mut self.walker);
+        self.n_evals += 1;
+        if c < self.best_cost {
+            self.best_cost = c;
+            self.best_order = Some(JoinOrder::new(rels.to_vec()));
+        }
+        c
+    }
+
+    /// Evaluate without charging budget or updating best-so-far. For
+    /// analysis and tests only — optimizers must use [`Evaluator::cost`].
+    pub fn cost_uncharged(&mut self, order: &JoinOrder) -> f64 {
+        self.model
+            .order_cost_with(self.query, order.rels(), &mut self.walker)
+    }
+
+    /// Consume `units` of budget (heuristics use this to pay for their own
+    /// non-evaluation work). Crossing a checkpoint records a snapshot of
+    /// the best cost *before* the newly charged work completes.
+    pub fn charge(&mut self, units: u64) {
+        while self.next_checkpoint < self.checkpoints.len()
+            && self.used >= self.checkpoints[self.next_checkpoint]
+        {
+            self.snapshots.push(Snapshot {
+                units: self.checkpoints[self.next_checkpoint],
+                best_cost: self.best_cost,
+            });
+            self.next_checkpoint += 1;
+        }
+        self.used = self.used.saturating_add(units);
+    }
+
+    /// Whether the method should stop: the budget is exhausted, or the
+    /// best solution has reached the early-stopping threshold.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.limit || self.best_cost <= self.stop_threshold
+    }
+
+    /// Budget units consumed so far.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Budget units remaining.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used)
+    }
+
+    /// Number of full plan evaluations performed.
+    #[inline]
+    pub fn n_evals(&self) -> u64 {
+        self.n_evals
+    }
+
+    /// The best state evaluated so far, with its cost.
+    pub fn best(&self) -> Option<(&JoinOrder, f64)> {
+        self.best_order.as_ref().map(|o| (o, self.best_cost))
+    }
+
+    /// Best cost so far (`INFINITY` before any evaluation).
+    #[inline]
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// Flush remaining checkpoints and return all snapshots. Checkpoints
+    /// not yet crossed are recorded with the final best cost (the run ended
+    /// before spending that much budget, so its result stands for all later
+    /// limits).
+    pub fn finish(mut self) -> (Option<JoinOrder>, f64, Vec<Snapshot>) {
+        for i in self.next_checkpoint..self.checkpoints.len() {
+            self.snapshots.push(Snapshot {
+                units: self.checkpoints[i],
+                best_cost: self.best_cost,
+            });
+        }
+        (self.best_order, self.best_cost, self.snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryCostModel;
+    use ljqo_catalog::QueryBuilder;
+
+    fn q() -> Query {
+        QueryBuilder::new()
+            .relation("a", 100)
+            .relation("b", 1000)
+            .relation("c", 10)
+            .join("a", "b", 0.001)
+            .join("b", "c", 0.01)
+            .build()
+            .unwrap()
+    }
+
+    fn order(v: &[u32]) -> JoinOrder {
+        JoinOrder::new(v.iter().map(|&i| RelId(i)).collect())
+    }
+
+    #[test]
+    fn budget_counts_evaluations() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, 3);
+        assert!(!ev.exhausted());
+        ev.cost(&order(&[0, 1, 2]));
+        ev.cost(&order(&[2, 1, 0]));
+        assert!(!ev.exhausted());
+        ev.cost(&order(&[1, 0, 2]));
+        assert!(ev.exhausted());
+        assert_eq!(ev.n_evals(), 3);
+        assert_eq!(ev.remaining(), 0);
+    }
+
+    #[test]
+    fn best_tracks_minimum() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::new(&query, &model);
+        let c1 = ev.cost(&order(&[0, 1, 2]));
+        let c2 = ev.cost(&order(&[2, 1, 0]));
+        let (best_order, best_cost) = ev.best().unwrap();
+        assert_eq!(best_cost, c1.min(c2));
+        let expect = if c1 <= c2 {
+            order(&[0, 1, 2])
+        } else {
+            order(&[2, 1, 0])
+        };
+        assert_eq!(*best_order, expect);
+    }
+
+    #[test]
+    fn snapshots_record_best_at_checkpoints() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, 100);
+        ev.set_checkpoints(vec![2, 5]);
+        let c0 = ev.cost(&order(&[0, 1, 2])); // used: 1
+        let _ = ev.cost(&order(&[0, 1, 2])); // used: 2
+        let c2 = ev.cost(&order(&[2, 1, 0])); // crosses checkpoint 2 first
+        let (_, _, snaps) = ev.finish();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].units, 2);
+        // The state evaluated while crossing the checkpoint does not count
+        // toward that checkpoint's best.
+        assert_eq!(snaps[0].best_cost, c0);
+        assert_eq!(snaps[1].units, 5);
+        assert_eq!(snaps[1].best_cost, c0.min(c2));
+    }
+
+    #[test]
+    fn finish_flushes_uncrossed_checkpoints() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, 1000);
+        ev.set_checkpoints(vec![10, 500, 900]);
+        let c = ev.cost(&order(&[0, 1, 2]));
+        let (_, best, snaps) = ev.finish();
+        assert_eq!(best, c);
+        assert_eq!(snaps.len(), 3);
+        assert!(snaps.iter().all(|s| s.best_cost == c));
+    }
+
+    #[test]
+    fn stop_threshold_trips_exhausted() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, 1_000_000);
+        assert!(!ev.exhausted());
+        let c = ev.cost(&order(&[2, 1, 0]));
+        assert!(!ev.exhausted());
+        ev.set_stop_threshold(c + 1.0);
+        assert!(ev.exhausted(), "best {c} is below the threshold");
+        // Without any evaluation the threshold must not trip (best = inf).
+        let mut ev2 = Evaluator::with_budget(&query, &model, 10);
+        ev2.set_stop_threshold(1e18);
+        assert!(!ev2.exhausted());
+    }
+
+    #[test]
+    fn uncharged_costs_do_not_consume_budget() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, 1);
+        let a = ev.cost_uncharged(&order(&[0, 1, 2]));
+        assert_eq!(ev.used(), 0);
+        let b = ev.cost(&order(&[0, 1, 2]));
+        assert_eq!(a, b);
+        assert!(ev.exhausted());
+    }
+}

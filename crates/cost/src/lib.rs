@@ -1,0 +1,88 @@
+//! # ljqo-cost — cost models, size estimation, and budgeted evaluation
+//!
+//! The paper evaluates join orders under two cost models:
+//!
+//! * a **main-memory** model in the spirit of Swami's validated
+//!   main-memory cost model \[Swa89a\] — see [`MemoryCostModel`];
+//! * a **disk-based** model similar to Bratbergsengen's hash-join cost
+//!   analysis \[Bra84\] — see [`DiskCostModel`].
+//!
+//! Both consume per-join statistics produced by the shared cardinality
+//! estimator ([`estimate`]), which uses the classical independence /
+//! uniformity assumptions: `|R ⋈ S| = |R|·|S|·J` with the join selectivity
+//! `J` taken from the catalog, multiplying the selectivities of all join
+//! predicates that connect the new inner relation to the relations already
+//! joined.
+//!
+//! The [`Evaluator`] wraps a query + model behind a **deterministic work
+//! budget**. The paper allots CPU time proportional to `N²`; wall-clock
+//! time is machine-dependent, so we charge one *budget unit* per plan cost
+//! evaluation (an `O(N)` operation — heuristics charge proportionally for
+//! their own `O(N)`-sized work, see `ljqo-heuristics`) and express the
+//! paper's time limit `τ·N²` as `⌊τ·N²·κ⌋` units. The evaluator also
+//! tracks the best state seen and snapshots it at configurable checkpoint
+//! budgets, which is how the experiment harness extracts "solution quality
+//! at time limit t" curves from a single run.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod disk;
+pub mod estimate;
+mod evaluator;
+mod memory;
+mod model;
+mod multi;
+pub mod propagate;
+
+pub use disk::DiskCostModel;
+pub use evaluator::{Evaluator, Snapshot};
+pub use memory::MemoryCostModel;
+pub use model::{CostModel, JoinCtx};
+pub use multi::{JoinMethod, MultiMethodCostModel};
+
+/// Intermediate cardinalities are clamped to this value so that products of
+/// many large relations cannot overflow `f64` and so that cost comparisons
+/// remain total. Any plan that reaches the clamp is astronomically bad and
+/// will never survive optimization.
+pub const CARD_CLAMP: f64 = 1e120;
+
+/// Time limits proportional to `N²`, as used throughout the paper
+/// ("`1.5N²`", "`9N²`", ...).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeLimit {
+    /// The multiplier `τ` in `τ·N²`.
+    pub tau: f64,
+}
+
+impl TimeLimit {
+    /// A time limit of `τ·N²`.
+    pub fn of(tau: f64) -> Self {
+        TimeLimit { tau }
+    }
+
+    /// Budget units for a query with `n` joins under calibration constant
+    /// `kappa` (units per `N²`).
+    pub fn units(&self, n_joins: usize, kappa: f64) -> u64 {
+        let n = n_joins as f64;
+        (self.tau * n * n * kappa).max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_limit_units_scale_quadratically() {
+        let t = TimeLimit::of(9.0);
+        assert_eq!(t.units(10, 20.0), 18_000);
+        assert_eq!(t.units(20, 20.0), 72_000);
+    }
+
+    #[test]
+    fn time_limit_units_floor_at_one() {
+        let t = TimeLimit::of(1e-9);
+        assert_eq!(t.units(10, 20.0), 1);
+    }
+}

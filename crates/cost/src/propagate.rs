@@ -1,0 +1,274 @@
+//! Distinct-value propagation — a refined cardinality estimator.
+//!
+//! The paper's estimator (and [`crate::estimate`]) applies each join
+//! predicate's *static* selectivity. That ignores how earlier joins
+//! change the distinct-value counts of join columns: once `R.x` has been
+//! equi-joined with `S.x`, the surviving `R` rows carry at most
+//! `min(D_R.x, D_S.x)` distinct `x` values, and unrelated columns lose
+//! distinct values whenever rows are filtered. This module propagates
+//! those counts through a left-deep walk:
+//!
+//! * an equi-join on columns with `D_a`/`D_b` distinct values keeps
+//!   `min(D_a, D_b)` on both sides and selects with
+//!   `1 / max(D_a, D_b)` — using the *current* (propagated) counts
+//!   rather than the base-table ones;
+//! * when a step reduces the row count from `R` to `r`, every other
+//!   column's distinct count shrinks by Yao's approximation
+//!   `D' = D·(1 − (1 − 1/D)^r)` capped at `r`; row multiplication never
+//!   increases a distinct count.
+//!
+//! The paper mentions exactly this effect when explaining why criterion
+//! 3 wins Table 1: it "tends to maximize the number of distinct values
+//! in the intermediate results". The `ext_estimator` bench and the
+//! integration tests compare this estimator against the static one on
+//! executed ground truth.
+
+use ljqo_catalog::{EdgeId, Query, RelId};
+
+use crate::estimate::{clamp_card, JoinStep};
+
+/// Yao's approximation: expected distinct values in a column of `d`
+/// distinct values after sampling `rows` of its rows (uniformly).
+#[inline]
+fn yao(d: f64, rows: f64) -> f64 {
+    if d <= 1.0 {
+        return 1.0;
+    }
+    // d·(1 − (1 − 1/d)^rows), computed stably via ln1p.
+    let log_keep = rows * (-1.0 / d).ln_1p();
+    (d * (1.0 - log_keep.exp())).clamp(1.0, d)
+}
+
+/// Left-deep size estimation with distinct-value propagation.
+///
+/// Mirrors [`crate::estimate::SizeWalker`]'s interface: `walk` invokes a
+/// callback per join step and returns the final cardinality.
+#[derive(Debug)]
+pub struct PropagatingWalker {
+    /// Current distinct estimate per (edge, side-relation) column of the
+    /// running intermediate; keyed densely by edge id with one slot per
+    /// side. NaN = column not present yet.
+    distinct: Vec<[f64; 2]>,
+    placed: Vec<bool>,
+}
+
+impl PropagatingWalker {
+    /// Create a walker for `query`.
+    pub fn new(query: &Query) -> Self {
+        PropagatingWalker {
+            distinct: vec![[f64::NAN; 2]; query.graph().edges().len()],
+            placed: vec![false; query.n_relations()],
+        }
+    }
+
+    fn side(query: &Query, eid: EdgeId, rel: RelId) -> usize {
+        usize::from(query.graph().edge(eid).b == rel)
+    }
+
+    /// Import the base distinct counts of every column of `rel`.
+    fn admit(&mut self, query: &Query, rel: RelId) {
+        for &eid in query.graph().incident(rel) {
+            let side = Self::side(query, eid, rel);
+            self.distinct[eid.index()][side] = query.graph().edge(eid).distinct_on(rel);
+        }
+        self.placed[rel.index()] = true;
+    }
+
+    /// Shrink every present column after a row-count change to `rows`.
+    fn shrink_all(&mut self, rows: f64) {
+        for slots in &mut self.distinct {
+            for d in slots {
+                if !d.is_nan() {
+                    *d = yao(*d, rows).min(*d);
+                }
+            }
+        }
+    }
+
+    /// Walk `order`, calling `f` per join step; returns the final
+    /// cardinality. The walker is consumed (create a fresh one per walk).
+    pub fn walk<F: FnMut(&JoinStep)>(
+        mut self,
+        query: &Query,
+        order: &[RelId],
+        mut f: F,
+    ) -> f64 {
+        let mut iter = order.iter();
+        let Some(&first) = iter.next() else {
+            return 0.0;
+        };
+        self.admit(query, first);
+        let mut card = clamp_card(query.cardinality(first));
+
+        for &inner in iter {
+            let inner_card = query.cardinality(inner);
+            // Gather the edges joining `inner` to the placed set, with the
+            // CURRENT outer-side distinct counts.
+            let mut sel: Option<f64> = None;
+            let mut joined_edges: Vec<(EdgeId, f64, f64)> = Vec::new();
+            for &eid in query.graph().incident(inner) {
+                let e = query.graph().edge(eid);
+                let Some(other) = e.other(inner) else { continue };
+                if !self.placed[other.index()] {
+                    continue;
+                }
+                let outer_side = Self::side(query, eid, other);
+                let d_outer = self.distinct[eid.index()][outer_side];
+                let d_inner = e.distinct_on(inner);
+                let s = 1.0 / d_outer.max(d_inner).max(1.0);
+                *sel.get_or_insert(1.0) *= s;
+                joined_edges.push((eid, d_outer, d_inner));
+            }
+            let output = clamp_card(card * inner_card * sel.unwrap_or(1.0));
+            f(&JoinStep {
+                inner,
+                outer_card: card,
+                inner_card,
+                output_card: output,
+                is_cross_product: sel.is_none(),
+            });
+
+            // Admit the inner's columns, then update distinct counts.
+            self.admit(query, inner);
+            for (eid, d_outer, d_inner) in joined_edges {
+                // Equi-join intersects the two domains.
+                let merged = d_outer.min(d_inner);
+                self.distinct[eid.index()] = [
+                    non_nan_min(self.distinct[eid.index()][0], merged),
+                    non_nan_min(self.distinct[eid.index()][1], merged),
+                ];
+            }
+            self.shrink_all(output);
+            card = output;
+        }
+        card
+    }
+}
+
+#[inline]
+fn non_nan_min(current: f64, merged: f64) -> f64 {
+    if current.is_nan() {
+        current
+    } else {
+        current.min(merged)
+    }
+}
+
+/// Estimated intermediate sizes with distinct propagation (counterpart of
+/// [`crate::estimate::intermediate_sizes`]).
+pub fn intermediate_sizes_propagated(query: &Query, order: &[RelId]) -> Vec<f64> {
+    let mut sizes = Vec::with_capacity(order.len().saturating_sub(1));
+    PropagatingWalker::new(query).walk(query, order, |s| sizes.push(s.output_card));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::intermediate_sizes;
+    use ljqo_catalog::QueryBuilder;
+
+    fn ids(v: &[u32]) -> Vec<RelId> {
+        v.iter().map(|&i| RelId(i)).collect()
+    }
+
+    #[test]
+    fn yao_limits() {
+        assert_eq!(yao(1.0, 100.0), 1.0);
+        // Sampling far more rows than distincts keeps all distincts.
+        assert!((yao(10.0, 10_000.0) - 10.0).abs() < 1e-9);
+        // Sampling one row keeps about one distinct.
+        assert!((yao(1000.0, 1.0) - 1.0).abs() < 0.01);
+        // Monotone in rows.
+        assert!(yao(100.0, 50.0) < yao(100.0, 200.0));
+    }
+
+    #[test]
+    fn matches_static_estimator_on_simple_chains() {
+        // On an acyclic chain where each join column is used once, the
+        // propagated estimate of each *next* join equals the static one
+        // as long as no prior step reduced the relevant distinct counts.
+        let q = QueryBuilder::new()
+            .relation("a", 1000)
+            .relation("b", 1000)
+            .relation("c", 1000)
+            .join_on_distincts("a", "b", 1000.0, 1000.0)
+            .join_on_distincts("b", "c", 1000.0, 1000.0)
+            .build()
+            .unwrap();
+        let order = ids(&[0, 1, 2]);
+        let s = intermediate_sizes(&q, &order);
+        let p = intermediate_sizes_propagated(&q, &order);
+        // |a⋈b| = 1000 under both.
+        assert!((s[0] - p[0]).abs() < 1e-9);
+        // With 1000 rows over 1000 distincts in b.c's column, Yao keeps
+        // ~632 distinct values, so the propagated second join is LESS
+        // selective (1/1000) only via max(d_inner)=1000 -> same here.
+        assert!((p[1] - s[1]).abs() / s[1] < 0.01);
+    }
+
+    #[test]
+    fn repeated_join_columns_lose_selectivity() {
+        // Two relations both joining a hub on the SAME hub column
+        // (modeled as two edges with the hub side sharing distincts):
+        // after the first join shrinks the hub's rows, the second join
+        // against a now-smaller column domain must be estimated as less
+        // selective per row than the static model claims.
+        let q = QueryBuilder::new()
+            .relation("hub", 10_000)
+            .relation("d1", 100)
+            .relation("d2", 100)
+            .join_on_distincts("hub", "d1", 10_000.0, 100.0)
+            .join_on_distincts("hub", "d2", 10_000.0, 100.0)
+            .build()
+            .unwrap();
+        let order = ids(&[0, 1, 2]);
+        let s = intermediate_sizes(&q, &order);
+        let p = intermediate_sizes_propagated(&q, &order);
+        assert!((s[0] - p[0]).abs() < 1e-9, "first join identical");
+        // Static second join: 1/max(10000,100) = 1e-4.
+        // Propagated: hub⋈d1 has 100 rows; the hub-d2 column's distincts
+        // shrink via Yao(10000, 100) ≈ 99.5 -> sel ≈ 1/100: ~100x larger
+        // estimate.
+        assert!(
+            p[1] > s[1] * 20.0,
+            "propagated {} should far exceed static {}",
+            p[1],
+            s[1]
+        );
+    }
+
+    #[test]
+    fn cross_products_still_detected() {
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .relation("c", 30)
+            .join("a", "b", 0.1)
+            .build()
+            .unwrap();
+        let mut steps = Vec::new();
+        PropagatingWalker::new(&q).walk(&q, &ids(&[0, 1, 2]), |s| steps.push(*s));
+        assert!(!steps[0].is_cross_product);
+        assert!(steps[1].is_cross_product);
+    }
+
+    #[test]
+    fn final_sizes_stay_positive_and_finite() {
+        let q = QueryBuilder::new()
+            .relation("a", 100_000)
+            .relation("b", 50_000)
+            .relation("c", 200)
+            .relation("d", 9)
+            .join_on_distincts("a", "b", 40_000.0, 30_000.0)
+            .join_on_distincts("b", "c", 150.0, 180.0)
+            .join_on_distincts("c", "d", 9.0, 9.0)
+            .join_on_distincts("a", "d", 9.0, 9.0)
+            .build()
+            .unwrap();
+        for order in [ids(&[0, 1, 2, 3]), ids(&[3, 2, 1, 0]), ids(&[2, 1, 0, 3])] {
+            let p = intermediate_sizes_propagated(&q, &order);
+            assert!(p.iter().all(|v| v.is_finite() && *v > 0.0), "{order:?}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Plan execution with hash joins.
+
+use std::collections::HashMap;
+
+use ljqo_catalog::{Query, RelId};
+
+use crate::datagen::table_of;
+use crate::table::{ColKey, Table};
+
+/// Execution failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An intermediate result exceeded the engine's row guard — the plan
+    /// is too explosive to execute (typically a cross product of large
+    /// inputs).
+    Blowup {
+        /// The join step (0-based) that blew up.
+        step: usize,
+        /// The guard that was exceeded.
+        limit: usize,
+    },
+    /// The order referenced a relation twice or not at all.
+    MalformedOrder,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Blowup { step, limit } => {
+                write!(f, "intermediate result at join {step} exceeded {limit} rows")
+            }
+            ExecError::MalformedOrder => write!(f, "malformed join order"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Tuple-level work counters from one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Rows of each intermediate result, one entry per join.
+    pub intermediate_rows: Vec<usize>,
+    /// Tuples inserted into hash tables (inner/build side).
+    pub build_tuples: u64,
+    /// Tuples hashed on the probe side.
+    pub probe_tuples: u64,
+    /// Result tuples materialized, summed over all joins.
+    pub output_tuples: u64,
+}
+
+impl ExecStats {
+    /// Final result size (rows of the last intermediate), 0 for empty
+    /// plans.
+    pub fn final_rows(&self) -> usize {
+        self.intermediate_rows.last().copied().unwrap_or(0)
+    }
+
+    /// A single scalar "work" figure: build + probe + output tuples — the
+    /// quantity the main-memory cost model prices.
+    pub fn total_work(&self) -> u64 {
+        self.build_tuples + self.probe_tuples + self.output_tuples
+    }
+}
+
+/// The engine: a row guard plus the execution entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionEngine {
+    /// Abort when any intermediate exceeds this many rows.
+    pub max_rows: usize,
+}
+
+impl Default for ExecutionEngine {
+    fn default() -> Self {
+        ExecutionEngine {
+            max_rows: 10_000_000,
+        }
+    }
+}
+
+impl ExecutionEngine {
+    /// Execute `order` over `tables` (from
+    /// [`generate_data`](crate::generate_data)), returning work counters.
+    ///
+    /// Each step hash-joins the running intermediate (outer, probe side)
+    /// with the next base relation (inner, build side) on **all** join
+    /// predicates linking it to relations already joined — multi-predicate
+    /// steps become multi-column keys. A step with no linking predicate is
+    /// executed as a cross product.
+    pub fn execute(
+        &self,
+        query: &Query,
+        tables: &[Table],
+        order: &[RelId],
+    ) -> Result<ExecStats, ExecError> {
+        let mut seen = vec![false; query.n_relations()];
+        for &r in order {
+            if seen[r.index()] {
+                return Err(ExecError::MalformedOrder);
+            }
+            seen[r.index()] = true;
+        }
+        let Some((&first, rest)) = order.split_first() else {
+            return Ok(ExecStats::default());
+        };
+        let mut stats = ExecStats::default();
+        let mut current = table_of(tables, first).clone();
+        let mut placed = vec![false; query.n_relations()];
+        placed[first.index()] = true;
+
+        for (step, &inner_rel) in rest.iter().enumerate() {
+            let inner = table_of(tables, inner_rel);
+            // Key pairs: for every predicate from inner_rel into the
+            // placed set, the (outer column, inner column) indices.
+            let mut keys: Vec<(usize, usize)> = Vec::new();
+            for &eid in query.graph().incident(inner_rel) {
+                let e = query.graph().edge(eid);
+                let Some(other) = e.other(inner_rel) else { continue };
+                if !placed[other.index()] {
+                    continue;
+                }
+                let outer_idx = current
+                    .col_index(ColKey { rel: other, edge: eid })
+                    .expect("outer join column must be present");
+                let inner_idx = inner
+                    .col_index(ColKey { rel: inner_rel, edge: eid })
+                    .expect("inner join column must be present");
+                keys.push((outer_idx, inner_idx));
+            }
+
+            let mut result_schema = current.schema.clone();
+            result_schema.extend_from_slice(&inner.schema);
+            let mut result = Table::empty(result_schema);
+
+            if keys.is_empty() {
+                // Cross product.
+                let rows = current.n_rows().saturating_mul(inner.n_rows());
+                if rows > self.max_rows {
+                    return Err(ExecError::Blowup {
+                        step,
+                        limit: self.max_rows,
+                    });
+                }
+                for ra in 0..current.n_rows() {
+                    for rb in 0..inner.n_rows() {
+                        Table::append_joined_row(&mut result, &current, ra, inner, rb);
+                    }
+                }
+                stats.output_tuples += rows as u64;
+            } else {
+                // Build on the inner (base) relation.
+                let mut ht: HashMap<Vec<u64>, Vec<usize>> =
+                    HashMap::with_capacity(inner.n_rows());
+                for rb in 0..inner.n_rows() {
+                    let key: Vec<u64> =
+                        keys.iter().map(|&(_, ic)| inner.columns[ic][rb]).collect();
+                    ht.entry(key).or_default().push(rb);
+                }
+                stats.build_tuples += inner.n_rows() as u64;
+                // Probe with the outer.
+                for ra in 0..current.n_rows() {
+                    let key: Vec<u64> =
+                        keys.iter().map(|&(oc, _)| current.columns[oc][ra]).collect();
+                    if let Some(matches) = ht.get(&key) {
+                        for &rb in matches {
+                            Table::append_joined_row(&mut result, &current, ra, inner, rb);
+                            stats.output_tuples += 1;
+                            if result.n_rows() > self.max_rows {
+                                return Err(ExecError::Blowup {
+                                    step,
+                                    limit: self.max_rows,
+                                });
+                            }
+                        }
+                    }
+                }
+                stats.probe_tuples += current.n_rows() as u64;
+            }
+
+            stats.intermediate_rows.push(result.n_rows());
+            placed[inner_rel.index()] = true;
+            current = result;
+        }
+        Ok(stats)
+    }
+}
+
+/// Convenience wrapper: generate nothing, just execute with default
+/// guards.
+pub fn execute_order(
+    query: &Query,
+    tables: &[Table],
+    order: &[RelId],
+) -> Result<ExecStats, ExecError> {
+    ExecutionEngine::default().execute(query, tables, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate_data;
+    use ljqo_catalog::QueryBuilder;
+
+    fn ids(v: &[u32]) -> Vec<RelId> {
+        v.iter().map(|&i| RelId(i)).collect()
+    }
+
+    fn small_query() -> Query {
+        QueryBuilder::new()
+            .relation("a", 300)
+            .relation("b", 200)
+            .relation("c", 100)
+            .join_on_distincts("a", "b", 30.0, 30.0)
+            .join_on_distincts("b", "c", 25.0, 25.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn execution_produces_plausible_sizes() {
+        let q = small_query();
+        let data = generate_data(&q, 7);
+        let stats = execute_order(&q, &data, &ids(&[0, 1, 2])).unwrap();
+        assert_eq!(stats.intermediate_rows.len(), 2);
+        // |a⋈b| expectation: 300·200/30 = 2000.
+        let got = stats.intermediate_rows[0] as f64;
+        assert!(
+            (got - 2000.0).abs() < 2000.0 * 0.35,
+            "|a⋈b| = {got}, expected ≈ 2000"
+        );
+        assert!(stats.total_work() > 0);
+    }
+
+    #[test]
+    fn final_size_is_order_invariant() {
+        let q = small_query();
+        let data = generate_data(&q, 11);
+        let a = execute_order(&q, &data, &ids(&[0, 1, 2])).unwrap();
+        let b = execute_order(&q, &data, &ids(&[2, 1, 0])).unwrap();
+        let c = execute_order(&q, &data, &ids(&[1, 0, 2])).unwrap();
+        assert_eq!(a.final_rows(), b.final_rows());
+        assert_eq!(a.final_rows(), c.final_rows());
+    }
+
+    #[test]
+    fn multi_predicate_joins_use_composite_keys() {
+        // Two predicates between a and b: both must hold.
+        let q = QueryBuilder::new()
+            .relation("a", 400)
+            .relation("b", 400)
+            .join_on_distincts("a", "b", 10.0, 10.0)
+            .join_on_distincts("a", "b", 8.0, 8.0)
+            .build()
+            .unwrap();
+        let data = generate_data(&q, 5);
+        let stats = execute_order(&q, &data, &ids(&[0, 1])).unwrap();
+        // Expected 400·400/(10·8) = 2000 under independence.
+        let got = stats.final_rows() as f64;
+        assert!(
+            (got - 2000.0).abs() < 2000.0 * 0.4,
+            "composite-key join produced {got}, expected ≈ 2000"
+        );
+    }
+
+    #[test]
+    fn cross_product_counts_all_pairs() {
+        let q = QueryBuilder::new()
+            .relation("a", 30)
+            .relation("b", 40)
+            .build()
+            .unwrap();
+        let data = generate_data(&q, 1);
+        let stats = execute_order(&q, &data, &ids(&[0, 1])).unwrap();
+        assert_eq!(stats.final_rows(), 1200);
+    }
+
+    #[test]
+    fn blowup_guard_trips() {
+        let q = QueryBuilder::new()
+            .relation("a", 5000)
+            .relation("b", 5000)
+            .build()
+            .unwrap();
+        let data = generate_data(&q, 1);
+        let engine = ExecutionEngine { max_rows: 10_000 };
+        let err = engine.execute(&q, &data, &ids(&[0, 1])).unwrap_err();
+        assert!(matches!(err, ExecError::Blowup { step: 0, .. }));
+    }
+
+    #[test]
+    fn malformed_orders_rejected() {
+        let q = small_query();
+        let data = generate_data(&q, 1);
+        let err = execute_order(&q, &data, &[RelId(0), RelId(0)]).unwrap_err();
+        assert_eq!(err, ExecError::MalformedOrder);
+    }
+
+    #[test]
+    fn empty_order_is_empty_stats() {
+        let q = small_query();
+        let data = generate_data(&q, 1);
+        let stats = execute_order(&q, &data, &[]).unwrap();
+        assert_eq!(stats, ExecStats::default());
+    }
+}

@@ -1,0 +1,121 @@
+//! Columnar tables for the mini engine.
+
+use ljqo_catalog::{EdgeId, RelId};
+
+/// Identifies a join column: the join column of relation `rel` for join
+/// predicate `edge`. Base tables carry one column per incident edge;
+/// intermediate tables carry the union of their constituents' columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColKey {
+    /// The relation the column belongs to.
+    pub rel: RelId,
+    /// The join predicate the column serves.
+    pub edge: EdgeId,
+}
+
+/// A columnar table of `u64` join-key values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column identities, parallel to `columns`.
+    pub schema: Vec<ColKey>,
+    /// Column data; all columns have equal length.
+    pub columns: Vec<Vec<u64>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Vec<ColKey>) -> Self {
+        let n_cols = schema.len();
+        Table {
+            schema,
+            columns: vec![Vec::new(); n_cols],
+            n_rows: 0,
+        }
+    }
+
+    /// Build a table from schema and columns. Panics if column lengths
+    /// disagree with each other or with the schema length.
+    pub fn new(schema: Vec<ColKey>, columns: Vec<Vec<u64>>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column arity mismatch");
+        let n_rows = columns.first().map_or(0, Vec::len);
+        assert!(
+            columns.iter().all(|c| c.len() == n_rows),
+            "ragged columns"
+        );
+        Table {
+            schema,
+            columns,
+            n_rows,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Index of the column with the given key, if present.
+    pub fn col_index(&self, key: ColKey) -> Option<usize> {
+        self.schema.iter().position(|&k| k == key)
+    }
+
+    /// Append a row gathered from `(self_row)` of `self` and `(other_row)`
+    /// of `other` into `dest` (whose schema must be self's followed by
+    /// other's).
+    pub(crate) fn append_joined_row(dest: &mut Table, a: &Table, ra: usize, b: &Table, rb: usize) {
+        debug_assert_eq!(dest.n_cols(), a.n_cols() + b.n_cols());
+        for (d, col) in dest.columns.iter_mut().zip(a.columns.iter()) {
+            d.push(col[ra]);
+        }
+        for (d, col) in dest.columns[a.n_cols()..].iter_mut().zip(b.columns.iter()) {
+            d.push(col[rb]);
+        }
+        dest.n_rows += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(rel: u32, edge: u32) -> ColKey {
+        ColKey {
+            rel: RelId(rel),
+            edge: EdgeId(edge),
+        }
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = Table::new(vec![key(0, 0), key(0, 1)], vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.col_index(key(0, 1)), Some(1));
+        assert_eq!(t.col_index(key(1, 0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_panic() {
+        let _ = Table::new(vec![key(0, 0), key(0, 1)], vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn append_joined_row_concatenates() {
+        let a = Table::new(vec![key(0, 0)], vec![vec![7, 8]]);
+        let b = Table::new(vec![key(1, 0)], vec![vec![9]]);
+        let mut dest = Table::empty(vec![key(0, 0), key(1, 0)]);
+        Table::append_joined_row(&mut dest, &a, 1, &b, 0);
+        assert_eq!(dest.n_rows(), 1);
+        assert_eq!(dest.columns[0], vec![8]);
+        assert_eq!(dest.columns[1], vec![9]);
+    }
+}

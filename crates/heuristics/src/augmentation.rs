@@ -1,0 +1,320 @@
+//! The augmentation heuristic (paper §4.1).
+//!
+//! Build a permutation by picking a first relation and then repeatedly
+//! choosing, from the relations that join with something already placed,
+//! the one optimizing a criterion. One permutation is generated per choice
+//! of first relation, so up to `N + 1` permutations are available; the
+//! paper picks first relations in order of increasing size.
+
+use ljqo_catalog::{Query, RelId};
+use ljqo_plan::JoinOrder;
+
+/// The five `chooseNext` criteria of paper §4.1 (Table 1).
+///
+/// In the paper's notation, `i` ranges over placed relations `S`, `j` over
+/// candidates `T` that join with `S`; `N_k` is the (post-selection)
+/// cardinality, `deg(k)` the join-graph degree, `J_ij` a join selectivity,
+/// and `D_j` the distinct count in `j`'s join column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AugmentationCriterion {
+    /// Criterion 1: `min(N_j)` — smallest cardinality first.
+    MinCardinality,
+    /// Criterion 2: `max(deg(j))` — highest join-graph degree first.
+    MaxDegree,
+    /// Criterion 3: `min(J_ij)` — smallest join selectivity for the next
+    /// join. The paper's winner: it tends to maximize distinct values in
+    /// intermediate results, keeping them small throughout.
+    MinSelectivity,
+    /// Criterion 4: `min(N_i·N_j·J_ij)` — smallest next intermediate.
+    MinIntermediateSize,
+    /// Criterion 5: `min((N_i·N_j·J_ij − 1)/(0.5·N_i·(N_j/D_j)))` —
+    /// smallest KBZ-style rank.
+    MinRank,
+}
+
+impl AugmentationCriterion {
+    /// All five criteria, in the paper's numbering order.
+    pub const ALL: [AugmentationCriterion; 5] = [
+        AugmentationCriterion::MinCardinality,
+        AugmentationCriterion::MaxDegree,
+        AugmentationCriterion::MinSelectivity,
+        AugmentationCriterion::MinIntermediateSize,
+        AugmentationCriterion::MinRank,
+    ];
+
+    /// The paper's 1-based criterion number.
+    pub fn number(self) -> usize {
+        match self {
+            AugmentationCriterion::MinCardinality => 1,
+            AugmentationCriterion::MaxDegree => 2,
+            AugmentationCriterion::MinSelectivity => 3,
+            AugmentationCriterion::MinIntermediateSize => 4,
+            AugmentationCriterion::MinRank => 5,
+        }
+    }
+
+    /// Score of candidate `j`; **lower is better** for every criterion
+    /// (criterion 2 negates the degree).
+    ///
+    /// For criteria involving a placed partner `i`, the score minimizes
+    /// over the join edges between `j` and `S`, following the paper's
+    /// `min` over `i ∈ S`.
+    fn score(self, query: &Query, placed: &[bool], j: RelId) -> f64 {
+        let graph = query.graph();
+        match self {
+            AugmentationCriterion::MinCardinality => query.cardinality(j),
+            AugmentationCriterion::MaxDegree => -(graph.degree(j) as f64),
+            _ => {
+                let n_j = query.cardinality(j);
+                let mut best = f64::INFINITY;
+                for &eid in graph.incident(j) {
+                    let e = graph.edge(eid);
+                    let Some(i) = e.other(j) else { continue };
+                    if !placed[i.index()] {
+                        continue;
+                    }
+                    let n_i = query.cardinality(i);
+                    let v = match self {
+                        AugmentationCriterion::MinSelectivity => e.selectivity,
+                        AugmentationCriterion::MinIntermediateSize => n_i * n_j * e.selectivity,
+                        AugmentationCriterion::MinRank => {
+                            let d_j = e.distinct_on(j);
+                            let denom = 0.5 * n_i * (n_j / d_j);
+                            (n_i * n_j * e.selectivity - 1.0) / denom.max(f64::MIN_POSITIVE)
+                        }
+                        _ => unreachable!(),
+                    };
+                    best = best.min(v);
+                }
+                best
+            }
+        }
+    }
+}
+
+/// The augmentation heuristic with a fixed `chooseNext` criterion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentationHeuristic {
+    /// The `chooseNext` criterion.
+    pub criterion: AugmentationCriterion,
+}
+
+impl Default for AugmentationHeuristic {
+    /// Criterion 3 (minimum join selectivity), the paper's best.
+    fn default() -> Self {
+        AugmentationHeuristic {
+            criterion: AugmentationCriterion::MinSelectivity,
+        }
+    }
+}
+
+impl AugmentationHeuristic {
+    /// Create a heuristic with the given criterion.
+    pub fn new(criterion: AugmentationCriterion) -> Self {
+        AugmentationHeuristic { criterion }
+    }
+
+    /// First-relation choices for `component`, in order of increasing
+    /// effective cardinality (ties broken by id), as the paper prescribes.
+    pub fn first_relations(query: &Query, component: &[RelId]) -> Vec<RelId> {
+        let mut rels = component.to_vec();
+        rels.sort_by(|&a, &b| {
+            query
+                .cardinality(a)
+                .partial_cmp(&query.cardinality(b))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        rels
+    }
+
+    /// Generate the permutation that starts at `first` (Figure 3 of the
+    /// paper). Only relations joining with the placed set are considered,
+    /// so the result is always a valid join order of the component.
+    ///
+    /// Panics if `first` is not in `component`. If the component is not
+    /// connected the result covers only the part reachable from `first`
+    /// (guarded by a debug assertion).
+    pub fn generate(&self, query: &Query, component: &[RelId], first: RelId) -> JoinOrder {
+        assert!(component.contains(&first), "{first} not in component");
+        let n_rel = query.n_relations();
+        let mut in_component = vec![false; n_rel];
+        for &r in component {
+            in_component[r.index()] = true;
+        }
+        let mut placed = vec![false; n_rel];
+        let mut order = Vec::with_capacity(component.len());
+        placed[first.index()] = true;
+        order.push(first);
+
+        // Frontier of candidates joined to the placed set.
+        let mut in_frontier = vec![false; n_rel];
+        let mut frontier: Vec<RelId> = Vec::new();
+        let extend = |r: RelId, frontier: &mut Vec<RelId>, in_frontier: &mut Vec<bool>, placed: &[bool]| {
+            for &eid in query.graph().incident(r) {
+                if let Some(o) = query.graph().edge(eid).other(r) {
+                    if in_component[o.index()] && !placed[o.index()] && !in_frontier[o.index()] {
+                        in_frontier[o.index()] = true;
+                        frontier.push(o);
+                    }
+                }
+            }
+        };
+        extend(first, &mut frontier, &mut in_frontier, &placed);
+
+        while !frontier.is_empty() {
+            // chooseNext: argmin of the criterion score over the frontier,
+            // ties broken by relation id for determinism.
+            let mut best_idx = 0;
+            let mut best_score = f64::INFINITY;
+            let mut best_rel = RelId(u32::MAX);
+            for (idx, &j) in frontier.iter().enumerate() {
+                let s = self.criterion.score(query, &placed, j);
+                if s < best_score || (s == best_score && j < best_rel) {
+                    best_score = s;
+                    best_rel = j;
+                    best_idx = idx;
+                }
+            }
+            let next = frontier.swap_remove(best_idx);
+            in_frontier[next.index()] = false;
+            placed[next.index()] = true;
+            order.push(next);
+            extend(next, &mut frontier, &mut in_frontier, &placed);
+        }
+        debug_assert_eq!(order.len(), component.len(), "component not connected");
+        JoinOrder::new(order)
+    }
+
+    /// Generate all permutations for a component, one per first relation,
+    /// in the paper's increasing-size order.
+    pub fn generate_all(&self, query: &Query, component: &[RelId]) -> Vec<JoinOrder> {
+        Self::first_relations(query, component)
+            .into_iter()
+            .map(|first| self.generate(query, component, first))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::QueryBuilder;
+    use ljqo_plan::validity::is_valid;
+
+    /// Chain a(1000) - b(10) - c(500) - d(20), varying selectivities.
+    fn chain() -> Query {
+        QueryBuilder::new()
+            .relation("a", 1000)
+            .relation("b", 10)
+            .relation("c", 500)
+            .relation("d", 20)
+            .join("a", "b", 0.1)
+            .join("b", "c", 0.001)
+            .join("c", "d", 0.05)
+            .build()
+            .unwrap()
+    }
+
+    fn comp(q: &Query) -> Vec<RelId> {
+        q.rel_ids().collect()
+    }
+
+    #[test]
+    fn first_relations_sorted_by_size() {
+        let q = chain();
+        let firsts = AugmentationHeuristic::first_relations(&q, &comp(&q));
+        let cards: Vec<f64> = firsts.iter().map(|&r| q.cardinality(r)).collect();
+        assert!(cards.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(firsts[0], RelId(1)); // b, card 10
+    }
+
+    #[test]
+    fn generated_orders_are_valid_and_complete() {
+        let q = chain();
+        for crit in AugmentationCriterion::ALL {
+            let h = AugmentationHeuristic::new(crit);
+            for o in h.generate_all(&q, &comp(&q)) {
+                assert_eq!(o.len(), 4, "criterion {crit:?}");
+                assert!(is_valid(q.graph(), o.rels()), "criterion {crit:?}: {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_selectivity_follows_cheapest_edge() {
+        let q = chain();
+        let h = AugmentationHeuristic::new(AugmentationCriterion::MinSelectivity);
+        // From b, the cheapest incident edge is b-c (0.001), then from
+        // {b,c} the candidates are a (J=0.1) and d (J=0.05) -> d first.
+        let o = h.generate(&q, &comp(&q), RelId(1));
+        assert_eq!(
+            o.rels(),
+            &[RelId(1), RelId(2), RelId(3), RelId(0)],
+            "expected b c d a, got {o}"
+        );
+    }
+
+    #[test]
+    fn min_cardinality_prefers_small_relations() {
+        let q = chain();
+        let h = AugmentationHeuristic::new(AugmentationCriterion::MinCardinality);
+        // From b (10): candidates a (1000) and c (500) -> c; then d (20)
+        // beats a -> b c d a.
+        let o = h.generate(&q, &comp(&q), RelId(1));
+        assert_eq!(o.rels(), &[RelId(1), RelId(2), RelId(3), RelId(0)]);
+    }
+
+    #[test]
+    fn max_degree_prefers_hubs() {
+        // Star with hub h and spokes s1..s3; from a spoke the only
+        // candidate is the hub, afterwards all spokes tie by degree and id
+        // order breaks ties.
+        let q = QueryBuilder::new()
+            .relation("s1", 100)
+            .relation("h", 50)
+            .relation("s2", 100)
+            .relation("s3", 100)
+            .join("h", "s1", 0.01)
+            .join("h", "s2", 0.01)
+            .join("h", "s3", 0.01)
+            .build()
+            .unwrap();
+        let h = AugmentationHeuristic::new(AugmentationCriterion::MaxDegree);
+        let o = h.generate(&q, &comp(&q), RelId(0));
+        assert_eq!(o.rels(), &[RelId(0), RelId(1), RelId(2), RelId(3)]);
+    }
+
+    #[test]
+    fn all_criteria_produce_one_order_per_first_relation() {
+        let q = chain();
+        let h = AugmentationHeuristic::default();
+        let orders = h.generate_all(&q, &comp(&q));
+        assert_eq!(orders.len(), 4);
+        // Each order starts with a distinct relation.
+        let firsts: std::collections::HashSet<RelId> =
+            orders.iter().map(|o| o.at(0)).collect();
+        assert_eq!(firsts.len(), 4);
+    }
+
+    #[test]
+    fn singleton_component() {
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 10)
+            .join("a", "b", 0.5)
+            .build()
+            .unwrap();
+        let h = AugmentationHeuristic::default();
+        let o = h.generate(&q, &[RelId(0), RelId(1)], RelId(0));
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in component")]
+    fn first_outside_component_panics() {
+        let q = chain();
+        let h = AugmentationHeuristic::default();
+        let _ = h.generate(&q, &[RelId(0), RelId(1)], RelId(3));
+    }
+}

@@ -1,0 +1,254 @@
+//! Algorithms R and T of the KBZ hierarchy.
+
+use ljqo_catalog::{Query, RelId};
+use ljqo_cost::Evaluator;
+use ljqo_plan::JoinOrder;
+
+use super::chain::{merge_chains, normalize_front, Module};
+use super::mst::RootedTree;
+use super::KbzHeuristic;
+
+/// Algorithm R: the rank-optimal join order for a rooted query tree.
+///
+/// Bottom-up over the tree: each subtree is reduced to a rank-ascending
+/// chain of modules; the chains of a node's children are merged by rank,
+/// the node's own module is prepended, and rank inversions at the front
+/// are normalized away by merging (see the chain module). Flattening the
+/// root's chain yields the order. `O(N log N)` for bounded-degree trees.
+pub fn algorithm_r(h: &KbzHeuristic, query: &Query, tree: &RootedTree) -> JoinOrder {
+    algorithm_r_with_cost(h, query, tree).0
+}
+
+/// Algorithm R, also returning the order's cost under KBZ's **internal**
+/// ASI cost model (`C(S₁S₂) = C(S₁) + T(S₁)·C(S₂)`). Algorithm T compares
+/// roots by this internal cost — not by the optimizer's real cost model —
+/// which is exactly why the paper finds KBZ's single produced state
+/// underwhelming: the ASI surrogate and the real model disagree.
+pub fn algorithm_r_with_cost(
+    h: &KbzHeuristic,
+    query: &Query,
+    tree: &RootedTree,
+) -> (JoinOrder, f64) {
+    let chain = chain_for(h, query, tree, tree.root);
+    // Fold the sequence recurrences over the chain: the root module has
+    // C = 0 and T = n_root, so the fold accumulates Σ T(prefix)·C(module).
+    let mut asi_cost = 0.0f64;
+    let mut t_running = 1.0f64;
+    for module in &chain {
+        asi_cost += t_running * module.c;
+        t_running *= module.t;
+    }
+    let rels: Vec<RelId> = chain.into_iter().flat_map(|m| m.rels).collect();
+    (JoinOrder::new(rels), asi_cost)
+}
+
+fn chain_for(h: &KbzHeuristic, query: &Query, tree: &RootedTree, v: RelId) -> Vec<Module> {
+    let child_chains: Vec<Vec<Module>> = tree.children[v.index()]
+        .iter()
+        .map(|&c| chain_for(h, query, tree, c))
+        .collect();
+    let merged = merge_chains(child_chains);
+
+    let module_v = match tree.parent[v.index()] {
+        None => {
+            // The root contributes the initial cardinality but is never an
+            // inner operand; a zero cost factor makes its rank -inf so it
+            // stays first under normalization.
+            Module::leaf(v, query.cardinality(v), 0.0)
+        }
+        Some((_, sel)) => {
+            let t = sel * query.cardinality(v);
+            let c = h.probe_cost + h.output_cost * t;
+            Module::leaf(v, t, c)
+        }
+    };
+    let mut chain = Vec::with_capacity(1 + merged.len());
+    chain.push(module_v);
+    chain.extend(merged);
+    normalize_front(&mut chain);
+    chain
+}
+
+/// Algorithm T: run algorithm R for every root, pick the root whose order
+/// is cheapest under KBZ's **internal ASI cost**, and evaluate only that
+/// single winner under the real cost model — KBZ "directly generates a
+/// finite number of solutions": exactly one per join graph.
+///
+/// Charges `N` budget units per root for the R run plus one unit for the
+/// final evaluation; stops early when the budget runs out.
+pub fn algorithm_t(
+    h: &KbzHeuristic,
+    ev: &mut Evaluator<'_>,
+    tree: &super::mst::UnrootedTree,
+) -> Option<JoinOrder> {
+    let n = tree.members.len() as u64;
+    let mut best: Option<(JoinOrder, f64)> = None;
+    for &root in &tree.members {
+        if ev.exhausted() {
+            break;
+        }
+        ev.charge(n);
+        let rooted = tree.rooted_at(root);
+        let (order, asi_cost) = algorithm_r_with_cost(h, ev.query(), &rooted);
+        if best.as_ref().is_none_or(|&(_, bc)| asi_cost < bc) {
+            best = Some((order, asi_cost));
+        }
+    }
+    let (order, _) = best?;
+    ev.cost(&order);
+    Some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kbz::mst::{MstWeight, UnrootedTree};
+    use ljqo_catalog::QueryBuilder;
+    use ljqo_cost::MemoryCostModel;
+    use ljqo_plan::validity::is_valid;
+
+    /// A tree-shaped query (no cycles), so the spanning tree IS the join
+    /// graph and algorithm R's precedence constraints are exact.
+    fn tree_query() -> Query {
+        //        a(1000)
+        //       /    \
+        //   b(50)    c(2000)
+        //    |
+        //   d(5000)
+        QueryBuilder::new()
+            .relation("a", 1000)
+            .relation("b", 50)
+            .relation("c", 2000)
+            .relation("d", 5000)
+            .join("a", "b", 0.02)
+            .join("a", "c", 0.0005)
+            .join("b", "d", 0.0002)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn algorithm_r_respects_tree_precedence() {
+        let q = tree_query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        let h = KbzHeuristic::default();
+        for &root in &comp {
+            let rooted = t.rooted_at(root);
+            let order = algorithm_r(&h, &q, &rooted);
+            assert_eq!(order.at(0), root, "root must come first");
+            assert!(is_valid(q.graph(), order.rels()), "root {root}: {order}");
+            // Tree precedence: each relation appears after its parent.
+            for &r in order.rels() {
+                if let Some((p, _)) = rooted.parent[r.index()] {
+                    assert!(
+                        order.position(p).unwrap() < order.position(r).unwrap(),
+                        "parent {p} must precede {r} in {order}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_r_is_optimal_among_tree_orders_with_asi_cost() {
+        // Verify the ASI optimality claim by brute force on the tree
+        // query: among all orders rooted at `root` respecting tree
+        // precedence, algorithm R's order minimizes the ASI cost
+        // Σ |outer_i| · g(inner_i).
+        let q = tree_query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        let h = KbzHeuristic::default();
+
+        let asi_cost = |rooted: &RootedTree, order: &[RelId]| -> f64 {
+            let mut card = q.cardinality(order[0]);
+            let mut total = 0.0;
+            for &r in &order[1..] {
+                let (_, sel) = rooted.parent[r.index()].unwrap();
+                let tr = sel * q.cardinality(r);
+                total += card * (h.probe_cost + h.output_cost * tr);
+                card *= tr;
+            }
+            total
+        };
+
+        for &root in &comp {
+            let rooted = t.rooted_at(root);
+            let r_order = algorithm_r(&h, &q, &rooted);
+            let r_cost = asi_cost(&rooted, r_order.rels());
+
+            // Enumerate all precedence-respecting orders rooted at root.
+            let rest: Vec<RelId> = comp.iter().copied().filter(|&r| r != root).collect();
+            let mut best = f64::INFINITY;
+            permute(&rest, &mut Vec::new(), &mut |perm| {
+                let mut order = vec![root];
+                order.extend_from_slice(perm);
+                let ok = order.iter().enumerate().all(|(i, &r)| {
+                    rooted.parent[r.index()]
+                        .is_none_or(|(p, _)| order[..i].contains(&p))
+                });
+                if ok {
+                    best = best.min(asi_cost(&rooted, &order));
+                }
+            });
+            assert!(
+                r_cost <= best + best.abs() * 1e-9,
+                "root {root}: algorithm R cost {r_cost} > brute-force {best}"
+            );
+        }
+    }
+
+    fn permute<F: FnMut(&[RelId])>(rest: &[RelId], acc: &mut Vec<RelId>, f: &mut F) {
+        if rest.is_empty() {
+            f(acc);
+            return;
+        }
+        for (i, &r) in rest.iter().enumerate() {
+            let mut next: Vec<RelId> = rest.to_vec();
+            next.remove(i);
+            acc.push(r);
+            permute(&next, acc, f);
+            acc.pop();
+        }
+    }
+
+    #[test]
+    fn algorithm_t_picks_the_asi_cheapest_root() {
+        let q = tree_query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        let model = MemoryCostModel::default();
+        let h = KbzHeuristic::default();
+        let mut ev = Evaluator::new(&q, &model);
+        let best = algorithm_t(&h, &mut ev, &t).unwrap();
+        // T produces exactly ONE state and it is the ASI-cheapest root's.
+        assert_eq!(ev.n_evals(), 1);
+        let best_asi = comp
+            .iter()
+            .map(|&root| algorithm_r_with_cost(&h, &q, &t.rooted_at(root)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best, best_asi.0);
+        for &root in &comp {
+            let (_, asi) = algorithm_r_with_cost(&h, &q, &t.rooted_at(root));
+            assert!(asi >= best_asi.1 - best_asi.1.abs() * 1e-12);
+        }
+    }
+
+    #[test]
+    fn asi_cost_is_positive_and_root_dependent() {
+        let q = tree_query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        let h = KbzHeuristic::default();
+        let costs: Vec<f64> = comp
+            .iter()
+            .map(|&root| algorithm_r_with_cost(&h, &q, &t.rooted_at(root)).1)
+            .collect();
+        assert!(costs.iter().all(|c| c.is_finite() && *c > 0.0));
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min, "some root must be better than another");
+    }
+}

@@ -1,0 +1,162 @@
+//! Rank modules and chain operations for algorithm R.
+//!
+//! Under the ASI property, the optimal order for a rooted tree sorts
+//! relations by ascending *rank*. Precedence constraints (a child cannot
+//! precede its tree parent) are handled by *normalization*: when a parent
+//! has higher rank than the first module of its subtree chain, the two are
+//! merged into a compound module whose aggregate `T` and `C` follow the
+//! sequence recurrences `T(AB) = T(A)·T(B)`, `C(AB) = C(A) + T(A)·C(B)`.
+
+use ljqo_catalog::RelId;
+
+/// A (possibly compound) sequence of relations with aggregate size factor
+/// `T` and cost factor `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Module {
+    /// The relations, in their fixed internal order.
+    pub rels: Vec<RelId>,
+    /// Aggregate size factor `T` (product of `s_i·n_i`).
+    pub t: f64,
+    /// Aggregate cost factor `C` (per outer tuple).
+    pub c: f64,
+}
+
+impl Module {
+    /// A single-relation module.
+    pub fn leaf(rel: RelId, t: f64, c: f64) -> Self {
+        Module {
+            rels: vec![rel],
+            t,
+            c,
+        }
+    }
+
+    /// The rank `(T − 1) / C`. Modules with `C = 0` (the root sentinel)
+    /// rank below everything so they are never displaced.
+    pub fn rank(&self) -> f64 {
+        if self.c <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            (self.t - 1.0) / self.c
+        }
+    }
+
+    /// Absorb `next`, producing the compound module `self · next`.
+    pub fn absorb(&mut self, next: Module) {
+        self.c += self.t * next.c;
+        self.t *= next.t;
+        self.rels.extend(next.rels);
+    }
+}
+
+/// Merge rank-ascending chains into one rank-ascending chain (k-way merge).
+pub(crate) fn merge_chains(mut chains: Vec<Vec<Module>>) -> Vec<Module> {
+    // Simple repeated two-way merge; chains are short (≤ N modules total).
+    let mut result = chains.pop().unwrap_or_default();
+    for chain in chains {
+        result = merge_two(result, chain);
+    }
+    result
+}
+
+fn merge_two(a: Vec<Module>, b: Vec<Module>) -> Vec<Module> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                if x.rank() <= y.rank() {
+                    out.push(ai.next().unwrap());
+                } else {
+                    out.push(bi.next().unwrap());
+                }
+            }
+            (Some(_), None) => out.push(ai.next().unwrap()),
+            (None, Some(_)) => out.push(bi.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Normalize the front of a chain whose head is a freshly prepended parent
+/// module: while the head outranks its successor, merge them. The tail is
+/// already ascending, and a merged module's rank lies between its parts'
+/// ranks, so front-merging restores global ascending order.
+pub(crate) fn normalize_front(chain: &mut Vec<Module>) {
+    while chain.len() >= 2 && chain[0].rank() > chain[1].rank() {
+        let next = chain.remove(1);
+        chain[0].absorb(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(id: u32, t: f64, c: f64) -> Module {
+        Module::leaf(RelId(id), t, c)
+    }
+
+    #[test]
+    fn rank_formula() {
+        let a = m(0, 3.0, 2.0);
+        assert!((a.rank() - 1.0).abs() < 1e-12);
+        let root = m(1, 5.0, 0.0);
+        assert_eq!(root.rank(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn absorb_follows_sequence_recurrences() {
+        let mut a = m(0, 2.0, 3.0);
+        let b = m(1, 4.0, 5.0);
+        a.absorb(b);
+        assert_eq!(a.t, 8.0); // 2·4
+        assert_eq!(a.c, 13.0); // 3 + 2·5
+        assert_eq!(a.rels, vec![RelId(0), RelId(1)]);
+    }
+
+    #[test]
+    fn merged_rank_lies_between_parts() {
+        // rank(A) = 1.0, rank(B) = 0.2
+        let mut a = m(0, 3.0, 2.0);
+        let b = m(1, 2.0, 5.0);
+        let (ra, rb) = (a.rank(), b.rank());
+        a.absorb(b);
+        let rab = a.rank();
+        assert!(rab <= ra && rab >= rb, "rank({rab}) outside [{rb},{ra}]");
+    }
+
+    #[test]
+    fn merge_chains_keeps_ascending_order() {
+        let c1 = vec![m(0, 1.1, 1.0), m(1, 3.0, 1.0)];
+        let c2 = vec![m(2, 1.5, 1.0), m(3, 5.0, 1.0)];
+        let merged = merge_chains(vec![c1, c2]);
+        let ranks: Vec<f64> = merged.iter().map(Module::rank).collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn normalize_front_merges_inversions() {
+        // Parent with rank 2.0 prepended to chain with ranks [0.5, 1.0].
+        let parent = m(0, 5.0, 2.0); // rank 2.0
+        let mut chain = vec![parent, m(1, 1.5, 1.0), m(2, 3.0, 2.0)];
+        normalize_front(&mut chain);
+        // Head must no longer outrank its successor.
+        assert!(chain[0].rank() <= chain.get(1).map_or(f64::INFINITY, Module::rank));
+        // All three relations survive, in parent-first order.
+        let rels: Vec<RelId> = chain.iter().flat_map(|md| md.rels.clone()).collect();
+        assert_eq!(rels[0], RelId(0));
+        assert_eq!(rels.len(), 3);
+    }
+
+    #[test]
+    fn root_sentinel_never_merges() {
+        let root = m(0, 10.0, 0.0);
+        let mut chain = vec![root, m(1, 1.5, 1.0)];
+        normalize_front(&mut chain);
+        assert_eq!(chain.len(), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Spanning-tree selection for algorithm G.
+//!
+//! The paper models spanning-tree choice "by a process similar to that
+//! used in the augmentation heuristic": grow the tree from the smallest
+//! relation, repeatedly adding the frontier edge with the smallest weight.
+//! This is Prim's algorithm with (possibly direction-dependent) weights
+//! corresponding to augmentation criteria 3, 4 and 5.
+
+use ljqo_catalog::{JoinEdge, Query, RelId};
+
+/// Edge weights for the minimum spanning tree (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MstWeight {
+    /// Criterion 3: the join selectivity `J_ij` (the paper's and KBZ's
+    /// recommended weighting).
+    Selectivity,
+    /// Criterion 4: the intermediate size `N_i·N_j·J_ij`.
+    IntermediateSize,
+    /// Criterion 5: the rank `(N_i·N_j·J_ij − 1)/(0.5·N_i·(N_j/D_j))`.
+    Rank,
+}
+
+impl MstWeight {
+    /// The paper's 1-based augmentation-criterion number this weight
+    /// corresponds to.
+    pub fn criterion_number(self) -> usize {
+        match self {
+            MstWeight::Selectivity => 3,
+            MstWeight::IntermediateSize => 4,
+            MstWeight::Rank => 5,
+        }
+    }
+
+    /// Weight of adding `to` to a tree already containing `from` via `e`.
+    fn weight(self, query: &Query, e: &JoinEdge, from: RelId, to: RelId) -> f64 {
+        let n_i = query.cardinality(from);
+        let n_j = query.cardinality(to);
+        match self {
+            MstWeight::Selectivity => e.selectivity,
+            MstWeight::IntermediateSize => n_i * n_j * e.selectivity,
+            MstWeight::Rank => {
+                let d_j = e.distinct_on(to);
+                let denom = (0.5 * n_i * (n_j / d_j)).max(f64::MIN_POSITIVE);
+                (n_i * n_j * e.selectivity - 1.0) / denom
+            }
+        }
+    }
+}
+
+/// An unrooted spanning tree of one join-graph component, ready to be
+/// rooted at any member (algorithm T iterates over all roots).
+///
+/// Each tree edge stores the **combined** selectivity of all join
+/// predicates between its endpoints: when the child joins, every predicate
+/// to its tree parent applies. Non-tree predicates are invisible to KBZ's
+/// ranking (inherent to the spanning-tree reduction); algorithm T's final
+/// evaluation under the real cost model sees them.
+#[derive(Debug, Clone)]
+pub struct UnrootedTree {
+    /// Members of the component.
+    pub members: Vec<RelId>,
+    /// `adj[r]` lists `(neighbor, combined selectivity)` pairs; indexed by
+    /// relation id, empty for non-members.
+    adj: Vec<Vec<(RelId, f64)>>,
+}
+
+impl UnrootedTree {
+    /// Prim's algorithm from the smallest relation of `component`.
+    ///
+    /// Panics if `component` has fewer than 2 relations or is not
+    /// connected in `query`'s join graph.
+    pub fn minimum_spanning_tree(query: &Query, component: &[RelId], weight: MstWeight) -> Self {
+        assert!(component.len() >= 2, "MST needs at least two relations");
+        let n_rel = query.n_relations();
+        let mut in_component = vec![false; n_rel];
+        for &r in component {
+            in_component[r.index()] = true;
+        }
+        let start = component
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                query
+                    .cardinality(a)
+                    .partial_cmp(&query.cardinality(b))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            })
+            .unwrap();
+
+        let mut in_tree = vec![false; n_rel];
+        in_tree[start.index()] = true;
+        let mut adj = vec![Vec::new(); n_rel];
+        let graph = query.graph();
+        for _ in 1..component.len() {
+            // Scan the cut for the lightest crossing edge. O(N·E) overall;
+            // components have ~100 relations so this stays trivial, and the
+            // optimizer charges KBZ's budget independently of our concrete
+            // implementation speed.
+            let mut best: Option<(f64, RelId, RelId)> = None;
+            for &from in component.iter().filter(|&&r| in_tree[r.index()]) {
+                for &eid in graph.incident(from) {
+                    let e = graph.edge(eid);
+                    let Some(to) = e.other(from) else { continue };
+                    if !in_component[to.index()] || in_tree[to.index()] {
+                        continue;
+                    }
+                    let w = weight.weight(query, e, from, to);
+                    let better = match best {
+                        None => true,
+                        Some((bw, _, bto)) => w < bw || (w == bw && to < bto),
+                    };
+                    if better {
+                        best = Some((w, from, to));
+                    }
+                }
+            }
+            let (_, from, to) = best.expect("component is not connected");
+            let sel = graph
+                .selectivity_between(from, to)
+                .expect("edge endpoints must be joined");
+            adj[from.index()].push((to, sel));
+            adj[to.index()].push((from, sel));
+            in_tree[to.index()] = true;
+        }
+        UnrootedTree {
+            members: component.to_vec(),
+            adj,
+        }
+    }
+
+    /// Tree neighbors of `rel`.
+    pub fn neighbors(&self, rel: RelId) -> &[(RelId, f64)] {
+        &self.adj[rel.index()]
+    }
+
+    /// Root the tree at `root` (BFS), yielding parent pointers and the
+    /// per-node selectivity to its parent.
+    pub fn rooted_at(&self, root: RelId) -> RootedTree {
+        let n_rel = self.adj.len();
+        let mut parent = vec![None; n_rel];
+        let mut children = vec![Vec::new(); n_rel];
+        let mut visited = vec![false; n_rel];
+        visited[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut bfs_order = vec![root];
+        while let Some(v) = queue.pop_front() {
+            for &(w, sel) in &self.adj[v.index()] {
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    parent[w.index()] = Some((v, sel));
+                    children[v.index()].push(w);
+                    bfs_order.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        debug_assert_eq!(bfs_order.len(), self.members.len());
+        RootedTree {
+            root,
+            parent,
+            children,
+            bfs_order,
+        }
+    }
+}
+
+/// A spanning tree rooted at a specific relation, input to algorithm R.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    /// The root (the first relation of any order for this tree).
+    pub root: RelId,
+    /// `(parent, selectivity to parent)` per relation id; `None` for the
+    /// root and non-members.
+    pub parent: Vec<Option<(RelId, f64)>>,
+    /// Children lists per relation id.
+    pub children: Vec<Vec<RelId>>,
+    /// Members in BFS order from the root.
+    pub bfs_order: Vec<RelId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::QueryBuilder;
+
+    fn square() -> Query {
+        // Cycle a-b-c-d-a; MST must drop exactly one edge.
+        QueryBuilder::new()
+            .relation("a", 100)
+            .relation("b", 100)
+            .relation("c", 100)
+            .relation("d", 100)
+            .join("a", "b", 0.01)
+            .join("b", "c", 0.02)
+            .join("c", "d", 0.03)
+            .join("d", "a", 0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn selectivity_mst_drops_heaviest_edge() {
+        let q = square();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        // The d-a edge (J = 0.5) must be excluded.
+        assert!(!t.neighbors(RelId(3)).iter().any(|&(n, _)| n == RelId(0)));
+        // Tree has exactly 3 edges (6 directed entries).
+        let entries: usize = comp.iter().map(|&r| t.neighbors(r).len()).sum();
+        assert_eq!(entries, 6);
+    }
+
+    #[test]
+    fn tree_edges_store_combined_selectivity() {
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 10)
+            .join("a", "b", 0.1)
+            .join("a", "b", 0.5)
+            .build()
+            .unwrap();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        let &(_, sel) = &t.neighbors(RelId(0))[0];
+        assert!((sel - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rooting_reverses_cleanly_at_each_member() {
+        let q = square();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let t = UnrootedTree::minimum_spanning_tree(&q, &comp, MstWeight::Selectivity);
+        for &root in &comp {
+            let rt = t.rooted_at(root);
+            assert_eq!(rt.bfs_order.len(), 4);
+            assert_eq!(rt.bfs_order[0], root);
+            assert!(rt.parent[root.index()].is_none());
+            // Every non-root member has a parent.
+            for &m in &comp {
+                if m != root {
+                    assert!(rt.parent[m.index()].is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn mst_of_singleton_panics() {
+        let q = square();
+        let _ = UnrootedTree::minimum_spanning_tree(&q, &[RelId(0)], MstWeight::Selectivity);
+    }
+}

@@ -1,0 +1,396 @@
+//! The move set: perturbations between adjacent states.
+//!
+//! Swami & Gupta (SIGMOD 1988) search the valid join-tree space with random
+//! perturbations of the permutation. We implement a configurable move set:
+//! adjacent swaps, arbitrary swaps, 3-cycles, and single-relation
+//! reinsertions, each chosen with a configurable probability, and each
+//! filtered so that only *valid* neighbors (no cross products) are
+//! produced. The default is SG88-style swaps only. Two states are adjacent
+//! when one move transforms one into the other.
+
+use rand::Rng;
+
+use ljqo_catalog::JoinGraph;
+
+use crate::order::JoinOrder;
+use crate::validity::ValidityChecker;
+
+/// The kinds of perturbation in the move set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoveKind {
+    /// Swap two neighboring positions.
+    AdjacentSwap,
+    /// Swap two arbitrary positions.
+    Swap,
+    /// Rotate the relations at three positions.
+    ThreeCycle,
+    /// Remove one relation and reinsert it elsewhere.
+    Reinsert,
+}
+
+/// A concrete, reversible perturbation of a [`JoinOrder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Exchange positions `i` and `j`.
+    Swap {
+        /// First position.
+        i: usize,
+        /// Second position.
+        j: usize,
+    },
+    /// Rotate: the relation at `i` moves to `j`, `j`'s to `k`, `k`'s to `i`.
+    ThreeCycle {
+        /// First position.
+        i: usize,
+        /// Second position.
+        j: usize,
+        /// Third position.
+        k: usize,
+    },
+    /// Remove the relation at `from` and reinsert it at `to`.
+    Reinsert {
+        /// Source position.
+        from: usize,
+        /// Destination position (in the resulting order).
+        to: usize,
+    },
+}
+
+impl Move {
+    /// Apply the move in place.
+    pub fn apply(&self, order: &mut JoinOrder) {
+        match *self {
+            Move::Swap { i, j } => order.rels_mut().swap(i, j),
+            Move::ThreeCycle { i, j, k } => {
+                // i -> j -> k -> i
+                let rels = order.rels_mut();
+                let tmp = rels[k];
+                rels[k] = rels[j];
+                rels[j] = rels[i];
+                rels[i] = tmp;
+            }
+            Move::Reinsert { from, to } => order.reinsert(from, to),
+        }
+    }
+
+    /// Undo the move (apply the inverse).
+    pub fn undo(&self, order: &mut JoinOrder) {
+        self.inverse().apply(order);
+    }
+
+    /// The inverse move.
+    pub fn inverse(&self) -> Move {
+        match *self {
+            Move::Swap { i, j } => Move::Swap { i, j },
+            Move::ThreeCycle { i, j, k } => Move::ThreeCycle { i: k, j, k: i },
+            Move::Reinsert { from, to } => Move::Reinsert { from: to, to: from },
+        }
+    }
+
+    /// All swap moves over an order of length `len`, for exhaustive
+    /// neighborhood enumeration in tests and the DP validation harness.
+    pub fn all_swaps(len: usize) -> impl Iterator<Item = Move> {
+        (0..len).flat_map(move |i| (i + 1..len).map(move |j| Move::Swap { i, j }))
+    }
+}
+
+/// Probability weights over [`MoveKind`]s.
+///
+/// The default follows SG88's simple perturbation scheme: swaps only
+/// (mostly arbitrary, some adjacent). The richer 3-cycle and reinsertion
+/// moves are available as an *extension* — they make iterative improvement
+/// markedly stronger, which also flattens the differences the paper
+/// observes between methods; the `ablation_moves` bench quantifies this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveSet {
+    /// Weight of adjacent swaps.
+    pub adjacent_swap: f64,
+    /// Weight of arbitrary swaps.
+    pub swap: f64,
+    /// Weight of 3-cycles.
+    pub three_cycle: f64,
+    /// Weight of reinsertions.
+    pub reinsert: f64,
+}
+
+impl Default for MoveSet {
+    fn default() -> Self {
+        MoveSet {
+            adjacent_swap: 0.3,
+            swap: 0.7,
+            three_cycle: 0.0,
+            reinsert: 0.0,
+        }
+    }
+}
+
+impl MoveSet {
+    /// A move set consisting only of swaps (used by the ablation bench).
+    pub fn swaps_only() -> Self {
+        MoveSet {
+            adjacent_swap: 0.3,
+            swap: 0.7,
+            three_cycle: 0.0,
+            reinsert: 0.0,
+        }
+    }
+
+    /// Sample a move kind according to the weights.
+    pub fn sample_kind<R: Rng + ?Sized>(&self, rng: &mut R) -> MoveKind {
+        let total = self.adjacent_swap + self.swap + self.three_cycle + self.reinsert;
+        debug_assert!(total > 0.0, "move set has no positive weight");
+        let mut x = rng.gen::<f64>() * total;
+        x -= self.adjacent_swap;
+        if x < 0.0 {
+            return MoveKind::AdjacentSwap;
+        }
+        x -= self.swap;
+        if x < 0.0 {
+            return MoveKind::Swap;
+        }
+        x -= self.three_cycle;
+        if x < 0.0 {
+            return MoveKind::ThreeCycle;
+        }
+        MoveKind::Reinsert
+    }
+}
+
+/// Generates random *valid* moves: proposes perturbations and filters out
+/// those that would introduce a cross product.
+#[derive(Debug)]
+pub struct MoveGenerator {
+    move_set: MoveSet,
+    checker: ValidityChecker,
+    /// Give up after this many invalid proposals (the state is then treated
+    /// as having no available move — practically unreachable for connected
+    /// graphs with more than two relations).
+    max_retries: usize,
+}
+
+impl MoveGenerator {
+    /// Create a generator for orders over up to `n_relations` relations.
+    pub fn new(n_relations: usize, move_set: MoveSet) -> Self {
+        MoveGenerator {
+            move_set,
+            checker: ValidityChecker::new(n_relations),
+            max_retries: 64.max(4 * n_relations),
+        }
+    }
+
+    /// Sample a random move of the configured distribution, ignoring
+    /// validity.
+    fn sample_move<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Move {
+        debug_assert!(len >= 2);
+        match self.move_set.sample_kind(rng) {
+            MoveKind::AdjacentSwap => {
+                let i = rng.gen_range(0..len - 1);
+                Move::Swap { i, j: i + 1 }
+            }
+            MoveKind::Swap => {
+                let i = rng.gen_range(0..len);
+                let mut j = rng.gen_range(0..len - 1);
+                if j >= i {
+                    j += 1;
+                }
+                Move::Swap {
+                    i: i.min(j),
+                    j: i.max(j),
+                }
+            }
+            MoveKind::ThreeCycle if len >= 3 => {
+                let i = rng.gen_range(0..len);
+                let mut j = rng.gen_range(0..len - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let mut k = rng.gen_range(0..len - 2);
+                for bound in [i.min(j), i.max(j)] {
+                    if k >= bound {
+                        k += 1;
+                    }
+                }
+                Move::ThreeCycle { i, j, k }
+            }
+            MoveKind::ThreeCycle => {
+                // Degenerates to a swap when only two positions exist.
+                Move::Swap { i: 0, j: 1 }
+            }
+            MoveKind::Reinsert => {
+                let from = rng.gen_range(0..len);
+                let mut to = rng.gen_range(0..len - 1);
+                if to >= from {
+                    to += 1;
+                }
+                Move::Reinsert { from, to }
+            }
+        }
+    }
+
+    /// Propose a random valid neighbor of `order`.
+    ///
+    /// On success the move has been **applied** to `order` (so the caller
+    /// can cost the new state immediately) and is returned so the caller
+    /// can [`Move::undo`] it if the new state is rejected. Returns `None`
+    /// when the order is too short to perturb or no valid move was found
+    /// within the retry budget.
+    pub fn propose<R: Rng + ?Sized>(
+        &mut self,
+        graph: &JoinGraph,
+        order: &mut JoinOrder,
+        rng: &mut R,
+    ) -> Option<Move> {
+        self.propose_counted(graph, order, rng).map(|(mv, _)| mv)
+    }
+
+    /// As [`MoveGenerator::propose`], additionally reporting how many
+    /// proposals were *tried* (1 = first proposal was valid).
+    ///
+    /// Each rejected proposal performed an `O(N)` validity check — real
+    /// work that the paper's wall-clock time limits paid for. Budgeted
+    /// optimizers charge `attempts − 1` extra units so that searching
+    /// heavily constrained spaces (e.g. star join graphs, where most swaps
+    /// are invalid) is costlier, as it was on the paper's hardware.
+    pub fn propose_counted<R: Rng + ?Sized>(
+        &mut self,
+        graph: &JoinGraph,
+        order: &mut JoinOrder,
+        rng: &mut R,
+    ) -> Option<(Move, u32)> {
+        let len = order.len();
+        if len < 2 {
+            return None;
+        }
+        for attempt in 1..=self.max_retries {
+            let mv = self.sample_move(len, rng);
+            mv.apply(order);
+            if self.checker.is_valid(graph, order.rels()) {
+                return Some((mv, attempt as u32));
+            }
+            mv.undo(order);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::is_valid;
+    use ljqo_catalog::{JoinEdge, RelId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ids(v: &[u32]) -> Vec<RelId> {
+        v.iter().map(|&i| RelId(i)).collect()
+    }
+
+    fn chain_graph(n: usize) -> JoinGraph {
+        JoinGraph::new(
+            n,
+            (1..n)
+                .map(|i| JoinEdge::from_distincts(i - 1, i, 10.0, 10.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn moves_are_reversible() {
+        let moves = [
+            Move::Swap { i: 1, j: 4 },
+            Move::ThreeCycle { i: 0, j: 2, k: 4 },
+            Move::Reinsert { from: 4, to: 1 },
+            Move::Reinsert { from: 0, to: 3 },
+        ];
+        for mv in moves {
+            let mut o = JoinOrder::new(ids(&[0, 1, 2, 3, 4]));
+            let orig = o.clone();
+            mv.apply(&mut o);
+            assert_ne!(o, orig, "{mv:?} must change the order");
+            mv.undo(&mut o);
+            assert_eq!(o, orig, "{mv:?} undo must restore the order");
+        }
+    }
+
+    #[test]
+    fn three_cycle_rotates() {
+        let mut o = JoinOrder::new(ids(&[10, 11, 12]));
+        Move::ThreeCycle { i: 0, j: 1, k: 2 }.apply(&mut o);
+        // i->j->k->i: value at 0 goes to 1, 1 to 2, 2 to 0.
+        assert_eq!(o.rels(), &ids(&[12, 10, 11])[..]);
+    }
+
+    #[test]
+    fn all_swaps_enumerates_n_choose_2() {
+        let swaps: Vec<_> = Move::all_swaps(5).collect();
+        assert_eq!(swaps.len(), 10);
+    }
+
+    #[test]
+    fn proposals_stay_valid() {
+        let g = chain_graph(8);
+        let mut gen = MoveGenerator::new(8, MoveSet::default());
+        let mut order = JoinOrder::new(ids(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut changed = 0;
+        for _ in 0..500 {
+            let before = order.clone();
+            if let Some(mv) = gen.propose(&g, &mut order, &mut rng) {
+                assert!(is_valid(&g, order.rels()));
+                assert_ne!(order, before, "move {mv:?} should perturb the state");
+                changed += 1;
+            }
+        }
+        assert!(changed > 400, "most proposals should succeed on a chain");
+    }
+
+    #[test]
+    fn propose_on_tiny_order_is_none() {
+        let g = chain_graph(2);
+        let mut gen = MoveGenerator::new(2, MoveSet::default());
+        let mut order = JoinOrder::new(ids(&[0]));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(gen.propose(&g, &mut order, &mut rng).is_none());
+    }
+
+    #[test]
+    fn two_relation_order_swaps() {
+        let g = chain_graph(2);
+        let mut gen = MoveGenerator::new(2, MoveSet::default());
+        let mut order = JoinOrder::new(ids(&[0, 1]));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mv = gen.propose(&g, &mut order, &mut rng).unwrap();
+        assert_eq!(mv, Move::Swap { i: 0, j: 1 });
+        assert_eq!(order.rels(), &ids(&[1, 0])[..]);
+    }
+
+    #[test]
+    fn sample_kind_respects_zero_weights() {
+        let ms = MoveSet::swaps_only();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let k = ms.sample_kind(&mut rng);
+            assert!(matches!(k, MoveKind::AdjacentSwap | MoveKind::Swap));
+        }
+    }
+
+    #[test]
+    fn star_proposals_never_lead_with_two_spokes() {
+        // Star with hub 0: valid orders keep the hub in the first two
+        // positions.
+        let g = JoinGraph::new(
+            6,
+            (1..6)
+                .map(|i| JoinEdge::from_distincts(0u32, i as u32, 10.0, 10.0))
+                .collect(),
+        );
+        let mut gen = MoveGenerator::new(6, MoveSet::default());
+        let mut order = JoinOrder::new(ids(&[0, 1, 2, 3, 4, 5]));
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..300 {
+            gen.propose(&g, &mut order, &mut rng);
+            let hub_pos = order.position(RelId(0)).unwrap();
+            assert!(hub_pos <= 1, "hub must stay within the first two slots");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Explicit join trees for display and explanation.
+
+use std::fmt;
+
+use ljqo_catalog::{Query, RelId};
+
+/// An outer linear (left-deep) join tree.
+///
+/// Each join has the running result as the *outer* operand and a base
+/// relation as the *inner* operand — the shape the paper restricts its
+/// search to. The tree form is only used for presentation; all search and
+/// costing works on the permutation form ([`crate::JoinOrder`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinTree {
+    /// A base relation scan.
+    Leaf(RelId),
+    /// A join of an outer subtree with an inner base relation.
+    Join {
+        /// The outer operand (intermediate result).
+        outer: Box<JoinTree>,
+        /// The inner operand (always a base relation).
+        inner: RelId,
+    },
+}
+
+impl JoinTree {
+    /// Build the left-deep tree for a relation sequence.
+    ///
+    /// Panics on an empty sequence.
+    pub fn left_deep(rels: &[RelId]) -> Self {
+        let (&first, rest) = rels.split_first().expect("empty join order");
+        let mut tree = JoinTree::Leaf(first);
+        for &r in rest {
+            tree = JoinTree::Join {
+                outer: Box::new(tree),
+                inner: r,
+            };
+        }
+        tree
+    }
+
+    /// Number of base relations in the tree.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Join { outer, .. } => outer.n_leaves() + 1,
+        }
+    }
+
+    /// The relations in join order (leftmost first).
+    pub fn order(&self) -> Vec<RelId> {
+        match self {
+            JoinTree::Leaf(r) => vec![*r],
+            JoinTree::Join { outer, inner } => {
+                let mut v = outer.order();
+                v.push(*inner);
+                v
+            }
+        }
+    }
+
+    /// Multi-line rendering with relation names from `query`, in the
+    /// conventional operator-tree layout (root first, children indented).
+    pub fn explain(&self, query: &Query) -> String {
+        let mut out = String::new();
+        self.explain_into(query, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, query: &Query, depth: usize, out: &mut String) {
+        use fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self {
+            JoinTree::Leaf(r) => {
+                let rel = query.relation(*r);
+                let _ = writeln!(
+                    out,
+                    "{pad}Scan {} (card={})",
+                    rel.name,
+                    rel.cardinality() as u64
+                );
+            }
+            JoinTree::Join { outer, inner } => {
+                let joined = outer
+                    .order()
+                    .iter()
+                    .any(|&o| query.graph().joined(o, *inner));
+                let op = if joined { "HashJoin" } else { "CrossProduct" };
+                let _ = writeln!(out, "{pad}{op} (inner={})", query.relation(*inner).name);
+                outer.explain_into(query, depth + 1, out);
+                let _ = writeln!(
+                    out,
+                    "{pad}  Scan {} (card={})",
+                    query.relation(*inner).name,
+                    query.cardinality(*inner) as u64
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTree::Leaf(r) => write!(f, "{r}"),
+            JoinTree::Join { outer, inner } => write!(f, "({outer} ⋈ {inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::QueryBuilder;
+
+    fn ids(v: &[u32]) -> Vec<RelId> {
+        v.iter().map(|&i| RelId(i)).collect()
+    }
+
+    #[test]
+    fn left_deep_shape() {
+        let t = JoinTree::left_deep(&ids(&[0, 1, 2]));
+        assert_eq!(t.to_string(), "((R0 ⋈ R1) ⋈ R2)");
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.order(), ids(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn single_leaf() {
+        let t = JoinTree::left_deep(&ids(&[4]));
+        assert_eq!(t, JoinTree::Leaf(RelId(4)));
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn explain_marks_cross_products() {
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .relation("c", 30)
+            .join("a", "b", 0.1)
+            .build()
+            .unwrap();
+        let t = JoinTree::left_deep(&ids(&[0, 1, 2]));
+        let plan = t.explain(&q);
+        assert!(plan.contains("HashJoin (inner=b)"));
+        assert!(plan.contains("CrossProduct (inner=c)"));
+        assert!(plan.contains("Scan a (card=10)"));
+    }
+}

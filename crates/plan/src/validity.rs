@@ -1,0 +1,167 @@
+//! Validity of join orders: no cross products within a component.
+//!
+//! A join order is *valid* when every relation after the first joins (via
+//! at least one join predicate) with some relation placed earlier. The
+//! paper restricts all search to the space of valid join trees; the move
+//! set and the random state generator both rely on these checks.
+
+use ljqo_catalog::{JoinGraph, RelId};
+
+/// Whether `order` is a valid join order under `graph`.
+///
+/// An empty order and a singleton order are trivially valid.
+pub fn is_valid(graph: &JoinGraph, order: &[RelId]) -> bool {
+    first_invalid_position(graph, order).is_none()
+}
+
+/// The first position `i >= 1` whose relation joins with no earlier
+/// relation, or `None` if the order is valid.
+///
+/// Runs in O(Σ deg) using a placement bitmap, with no allocation beyond the
+/// bitmap itself.
+pub fn first_invalid_position(graph: &JoinGraph, order: &[RelId]) -> Option<usize> {
+    let mut placed = vec![false; graph.n_relations()];
+    let mut iter = order.iter();
+    if let Some(&first) = iter.next() {
+        placed[first.index()] = true;
+    }
+    for (off, &r) in iter.enumerate() {
+        let connects = graph
+            .incident(r)
+            .iter()
+            .any(|&eid| graph.edge(eid).other(r).is_some_and(|o| placed[o.index()]));
+        if !connects {
+            return Some(off + 1);
+        }
+        placed[r.index()] = true;
+    }
+    None
+}
+
+/// Reusable validity checker that amortizes the placement bitmap across
+/// many checks (the optimizers call this in their innermost loop).
+#[derive(Debug)]
+pub struct ValidityChecker {
+    placed: Vec<bool>,
+    touched: Vec<usize>,
+}
+
+impl ValidityChecker {
+    /// Create a checker for graphs with up to `n_relations` relations.
+    pub fn new(n_relations: usize) -> Self {
+        ValidityChecker {
+            placed: vec![false; n_relations],
+            touched: Vec::with_capacity(n_relations),
+        }
+    }
+
+    /// Equivalent to [`is_valid`] but reuses the internal bitmap.
+    pub fn is_valid(&mut self, graph: &JoinGraph, order: &[RelId]) -> bool {
+        debug_assert!(self.placed.len() >= graph.n_relations());
+        let mut ok = true;
+        let mut iter = order.iter();
+        if let Some(&first) = iter.next() {
+            self.placed[first.index()] = true;
+            self.touched.push(first.index());
+        }
+        for &r in iter {
+            let connects = graph.incident(r).iter().any(|&eid| {
+                graph
+                    .edge(eid)
+                    .other(r)
+                    .is_some_and(|o| self.placed[o.index()])
+            });
+            if !connects {
+                ok = false;
+                break;
+            }
+            self.placed[r.index()] = true;
+            self.touched.push(r.index());
+        }
+        for &t in &self.touched {
+            self.placed[t] = false;
+        }
+        self.touched.clear();
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::JoinEdge;
+
+    fn chain_graph(n: usize) -> JoinGraph {
+        JoinGraph::new(
+            n,
+            (1..n)
+                .map(|i| JoinEdge::from_distincts(i - 1, i, 10.0, 10.0))
+                .collect(),
+        )
+    }
+
+    fn ids(v: &[u32]) -> Vec<RelId> {
+        v.iter().map(|&i| RelId(i)).collect()
+    }
+
+    #[test]
+    fn chain_orders() {
+        let g = chain_graph(4);
+        assert!(is_valid(&g, &ids(&[0, 1, 2, 3])));
+        assert!(is_valid(&g, &ids(&[2, 1, 3, 0])));
+        assert!(is_valid(&g, &ids(&[1, 2, 0, 3])));
+        // 0 and 2 are not joined, so (0 2 ...) is invalid.
+        assert!(!is_valid(&g, &ids(&[0, 2, 1, 3])));
+        assert_eq!(first_invalid_position(&g, &ids(&[0, 2, 1, 3])), Some(1));
+    }
+
+    #[test]
+    fn empty_and_singleton_valid() {
+        let g = chain_graph(3);
+        assert!(is_valid(&g, &[]));
+        assert!(is_valid(&g, &ids(&[2])));
+    }
+
+    #[test]
+    fn star_orders() {
+        // 0 is the hub joined to 1..4.
+        let g = JoinGraph::new(
+            5,
+            (1..5)
+                .map(|i| JoinEdge::from_distincts(0u32, i as u32, 10.0, 10.0))
+                .collect(),
+        );
+        assert!(is_valid(&g, &ids(&[0, 3, 1, 4, 2])));
+        assert!(is_valid(&g, &ids(&[3, 0, 1, 4, 2])));
+        // Two spokes first is a cross product.
+        assert!(!is_valid(&g, &ids(&[3, 1, 0, 4, 2])));
+    }
+
+    #[test]
+    fn checker_matches_free_function_and_resets() {
+        let g = chain_graph(5);
+        let mut c = ValidityChecker::new(5);
+        let good = ids(&[2, 3, 1, 0, 4]);
+        let bad = ids(&[2, 4, 3, 1, 0]);
+        for _ in 0..3 {
+            assert!(c.is_valid(&g, &good));
+            assert!(!c.is_valid(&g, &bad));
+        }
+    }
+
+    #[test]
+    fn suborder_over_component_checked_in_isolation() {
+        // Disconnected graph: component {0,1}, component {2,3}.
+        let g = JoinGraph::new(
+            4,
+            vec![
+                JoinEdge::from_distincts(0u32, 1u32, 5.0, 5.0),
+                JoinEdge::from_distincts(2u32, 3u32, 5.0, 5.0),
+            ],
+        );
+        assert!(is_valid(&g, &ids(&[1, 0])));
+        assert!(is_valid(&g, &ids(&[3, 2])));
+        // Mixing components forces a cross product -> invalid as one order.
+        assert!(!is_valid(&g, &ids(&[0, 1, 2, 3])));
+    }
+}

@@ -1,0 +1,219 @@
+//! Query synthesis (paper §5).
+//!
+//! The join graph is generated in two steps. Step 1 builds a connected
+//! spanning structure: relations are added one at a time, each linked to a
+//! relation already placed (uniformly, or with star/chain bias), so that
+//! the identity permutation is valid. Step 2 sweeps all remaining pairs
+//! and adds an extra join predicate with the *join cutoff probability*.
+//!
+//! Every join column draws a distinct-value fraction; the selectivity of a
+//! join predicate follows the uniformity assumption
+//! `J = 1 / max(D_a, D_b)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ljqo_catalog::{JoinEdge, Query, Relation};
+
+use crate::spec::{GraphShape, QuerySpec, SELECTIVITY_LIST};
+
+/// Generate a query with `n_joins` joins (`n_joins + 1` relations) from
+/// `spec`, deterministically in `seed`.
+pub fn generate_query(spec: &QuerySpec, n_joins: usize, seed: u64) -> Query {
+    let n_rel = n_joins + 1;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Relations: cardinality, then 0..=max_selections selections.
+    let mut relations = Vec::with_capacity(n_rel);
+    for i in 0..n_rel {
+        let mut rel = Relation::new(format!("R{i}"), spec.cardinalities.sample(&mut rng));
+        let n_sel = rng.gen_range(0..=spec.max_selections);
+        for _ in 0..n_sel {
+            let s = SELECTIVITY_LIST[rng.gen_range(0..SELECTIVITY_LIST.len())];
+            rel = rel.with_selection(s);
+        }
+        relations.push(rel);
+    }
+
+    // Step 1: connected spanning structure.
+    let mut degree = vec![0usize; n_rel];
+    let mut linked: Vec<(usize, usize)> = Vec::with_capacity(n_rel - 1);
+    for i in 1..n_rel {
+        let target = match spec.shape {
+            GraphShape::Random => rng.gen_range(0..i),
+            GraphShape::Chain => {
+                // Mostly extend the most recent relation: long chains.
+                if rng.gen::<f64>() < 0.95 {
+                    i - 1
+                } else {
+                    rng.gen_range(0..i)
+                }
+            }
+            GraphShape::Star => {
+                // Preferential attachment, weight ∝ (degree + 1)²: a few
+                // hubs accumulate most joins.
+                let weights: Vec<f64> = (0..i)
+                    .map(|j| ((degree[j] + 1) * (degree[j] + 1)) as f64)
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut x = rng.gen::<f64>() * total;
+                let mut pick = i - 1;
+                for (j, w) in weights.iter().enumerate() {
+                    x -= w;
+                    if x < 0.0 {
+                        pick = j;
+                        break;
+                    }
+                }
+                pick
+            }
+        };
+        degree[i] += 1;
+        degree[target] += 1;
+        linked.push((target, i));
+    }
+
+    // Step 2: extra join predicates with the cutoff probability.
+    let mut has_edge = vec![false; n_rel * n_rel];
+    for &(a, b) in &linked {
+        has_edge[a * n_rel + b] = true;
+        has_edge[b * n_rel + a] = true;
+    }
+    let mut pairs: Vec<(usize, usize)> = linked;
+    for a in 0..n_rel {
+        for b in (a + 1)..n_rel {
+            if !has_edge[a * n_rel + b] && rng.gen::<f64>() < spec.join_cutoff {
+                pairs.push((a, b));
+            }
+        }
+    }
+
+    // Attach distinct-value statistics and derive selectivities.
+    let edges: Vec<JoinEdge> = pairs
+        .into_iter()
+        .map(|(a, b)| {
+            let frac_a = spec.distinct_values.sample(&mut rng);
+            let frac_b = spec.distinct_values.sample(&mut rng);
+            let d_a = (frac_a * relations[a].cardinality()).max(1.0);
+            let d_b = (frac_b * relations[b].cardinality()).max(1.0);
+            JoinEdge::from_distincts(a, b, d_a, d_b)
+        })
+        .collect();
+
+    Query::new(relations, edges).expect("generated query must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Benchmark;
+    use ljqo_catalog::RelId;
+
+    #[test]
+    fn generated_queries_are_connected_with_n_joins() {
+        for n in [10, 25, 50] {
+            let q = generate_query(&QuerySpec::default(), n, 42);
+            assert_eq!(q.n_relations(), n + 1);
+            assert_eq!(q.n_joins(), n);
+            assert!(q.graph().is_connected(), "N={n}");
+            assert!(q.graph().edges().len() >= n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let spec = QuerySpec::default();
+        let a = generate_query(&spec, 20, 7);
+        let b = generate_query(&spec, 20, 7);
+        assert_eq!(a, b);
+        let c = generate_query(&spec, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dense_benchmark_has_more_predicates() {
+        // Averaged over seeds, cutoff 0.1 must yield clearly more edges
+        // than cutoff 0.01 (there are N(N+1)/2 - N candidate pairs).
+        let sparse: usize = (0..20)
+            .map(|s| generate_query(&Benchmark::Default.spec(), 40, s).graph().edges().len())
+            .sum();
+        let dense: usize = (0..20)
+            .map(|s| generate_query(&Benchmark::GraphDense.spec(), 40, s).graph().edges().len())
+            .sum();
+        assert!(
+            dense > sparse + 20 * 20,
+            "dense {dense} vs sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn star_benchmark_concentrates_degree() {
+        let max_degree_avg = |bench: Benchmark| -> f64 {
+            (0..20)
+                .map(|s| {
+                    let q = generate_query(&bench.spec(), 40, s);
+                    q.rel_ids()
+                        .map(|r| q.graph().degree(r))
+                        .max()
+                        .unwrap() as f64
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let star = max_degree_avg(Benchmark::GraphStar);
+        let chain = max_degree_avg(Benchmark::GraphChain);
+        assert!(
+            star > 2.0 * chain,
+            "star max-degree {star} should dwarf chain {chain}"
+        );
+    }
+
+    #[test]
+    fn chain_benchmark_is_path_like() {
+        let q = generate_query(&Benchmark::GraphChain.spec(), 40, 3);
+        // Step 2 still sprinkles a few extra predicates (cutoff 0.01), but
+        // the bulk of relations should sit on a path: degree <= 2.
+        let low: usize = q
+            .rel_ids()
+            .filter(|&r| q.graph().degree(r) <= 2)
+            .count();
+        assert!(
+            low * 4 >= q.n_relations() * 3,
+            "only {low}/{} relations have degree <= 2",
+            q.n_relations()
+        );
+    }
+
+    #[test]
+    fn selectivities_follow_uniformity_assumption() {
+        let q = generate_query(&QuerySpec::default(), 15, 11);
+        for e in q.graph().edges() {
+            let expect = 1.0 / e.distinct_a.max(e.distinct_b);
+            assert!((e.selectivity - expect).abs() < 1e-12);
+            assert!(e.distinct_a >= 1.0 && e.distinct_b >= 1.0);
+        }
+    }
+
+    #[test]
+    fn distinct_counts_do_not_exceed_cardinality_scale() {
+        let q = generate_query(&QuerySpec::default(), 30, 5);
+        for e in q.graph().edges() {
+            for (rel, d) in [(e.a, e.distinct_a), (e.b, e.distinct_b)] {
+                assert!(
+                    d <= q.cardinality(RelId(rel.0)) + 1e-9,
+                    "distinct {d} exceeds cardinality of {rel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_valid_by_construction() {
+        use ljqo_plan::validity::is_valid;
+        for seed in 0..10 {
+            let q = generate_query(&QuerySpec::default(), 30, seed);
+            let order: Vec<RelId> = q.rel_ids().collect();
+            assert!(is_valid(q.graph(), &order), "seed {seed}");
+        }
+    }
+}

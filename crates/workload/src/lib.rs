@@ -1,0 +1,31 @@
+//! # ljqo-workload — the paper's synthetic query benchmarks (§5)
+//!
+//! Queries are synthesized from distributions over relation cardinalities,
+//! selection predicates, join-column distinct values, and the join graph.
+//! The *default benchmark* uses the paper's default distributions; nine
+//! *variations* stress the optimizer with more extreme queries:
+//!
+//! | # | Class | Variation |
+//! |---|-------|-----------|
+//! | 1 | cardinalities | range ×10 (`[10,10³) 20%, [10³,10⁴) 60%, [10⁴,10⁵) 20%`) |
+//! | 2 | cardinalities | uniform over `[10,10⁴)` |
+//! | 3 | cardinalities | uniform over `[10,10⁵)` |
+//! | 4 | distinct values | more distincts (`(0,0.2] 80%, (0.2,1) 16%, 1.0 4%`) |
+//! | 5 | distinct values | fewer distincts (`(0,0.1] 90%, (0.1,1) 9%, 1.0 1%`) |
+//! | 6 | distinct values | both (`(0,0.1] 80%, (0.1,1) 16%, 1.0 4%`) |
+//! | 7 | join graph | cutoff probability 0.1 (more predicates) |
+//! | 8 | join graph | star-biased spanning tree |
+//! | 9 | join graph | chain-biased spanning tree |
+//!
+//! Generation is a deterministic function of `(spec, N, seed)`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod generator;
+mod spec;
+
+pub use generator::generate_query;
+pub use spec::{
+    Benchmark, CardinalityDist, DistinctDist, GraphShape, QuerySpec, SELECTIVITY_LIST,
+};

@@ -1,0 +1,327 @@
+//! Distribution specifications for query synthesis.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's list of selection selectivities; each selection predicate
+/// draws uniformly from this list (0.34 and 0.5 are deliberately
+/// overrepresented).
+pub const SELECTIVITY_LIST: [f64; 15] = [
+    0.001, 0.01, 0.1, 0.2, 0.34, 0.34, 0.34, 0.34, 0.34, 0.5, 0.5, 0.5, 0.67, 0.8, 1.0,
+];
+
+/// Distribution of relation cardinalities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CardinalityDist {
+    /// Weighted buckets `(lo, hi, weight)`; within a bucket the cardinality
+    /// is uniform over `[lo, hi)`.
+    Buckets(Vec<(u64, u64, f64)>),
+    /// Uniform over `[lo, hi)`.
+    Uniform(u64, u64),
+}
+
+impl CardinalityDist {
+    /// The paper's default: `[10,100) 20%, [100,1000) 60%, [1000,10000) 20%`.
+    pub fn default_paper() -> Self {
+        CardinalityDist::Buckets(vec![
+            (10, 100, 0.2),
+            (100, 1_000, 0.6),
+            (1_000, 10_000, 0.2),
+        ])
+    }
+
+    /// Sample a cardinality.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            CardinalityDist::Uniform(lo, hi) => rng.gen_range(*lo..*hi),
+            CardinalityDist::Buckets(buckets) => {
+                let total: f64 = buckets.iter().map(|b| b.2).sum();
+                let mut x = rng.gen::<f64>() * total;
+                for &(lo, hi, w) in buckets {
+                    x -= w;
+                    if x < 0.0 {
+                        return rng.gen_range(lo..hi);
+                    }
+                }
+                let &(lo, hi, _) = buckets.last().expect("empty bucket list");
+                rng.gen_range(lo..hi)
+            }
+        }
+    }
+}
+
+/// Distribution of the distinct-value fraction of a join column (distinct
+/// values = fraction × relation cardinality).
+///
+/// Buckets are `(lo, hi, weight)` with the fraction drawn uniformly from
+/// the half-open interval `(lo, hi]`; a bucket with `lo == hi` is a point
+/// mass (used for the paper's "exactly 1.0" bucket).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistinctDist(pub Vec<(f64, f64, f64)>);
+
+impl DistinctDist {
+    /// The paper's default: `(0,0.2] 90%, (0.2,1) 9%, 1.0 1%`.
+    pub fn default_paper() -> Self {
+        DistinctDist(vec![
+            (0.0, 0.2, 0.90),
+            (0.2, 1.0, 0.09),
+            (1.0, 1.0, 0.01),
+        ])
+    }
+
+    /// Sample a fraction in `(0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total: f64 = self.0.iter().map(|b| b.2).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for &(lo, hi, w) in &self.0 {
+            x -= w;
+            if x < 0.0 {
+                if lo >= hi {
+                    return hi;
+                }
+                // Uniform over (lo, hi]: 1 - gen() lies in (0, 1].
+                return lo + (hi - lo) * (1.0 - rng.gen::<f64>());
+            }
+        }
+        self.0.last().map(|b| b.1).unwrap_or(1.0)
+    }
+}
+
+/// Bias applied when generating the initial spanning tree of the join
+/// graph (paper §5, join-graph variations 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphShape {
+    /// Link each new relation to a uniformly random placed relation.
+    Random,
+    /// Star bias: preferential attachment (weight ∝ (degree+1)²), so a few
+    /// relations accumulate most of the joins. Enlarges the search space.
+    Star,
+    /// Chain bias: link to the most recently placed relation with high
+    /// probability, producing long path-like graphs. Shrinks the space.
+    Chain,
+}
+
+/// Full specification of a synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Relation cardinality distribution.
+    pub cardinalities: CardinalityDist,
+    /// Maximum number of selection predicates per relation (the count is
+    /// uniform over `0..=max_selections`).
+    pub max_selections: usize,
+    /// Join-column distinct-value fraction distribution.
+    pub distinct_values: DistinctDist,
+    /// Probability that a qualifying relation pair gets an extra join
+    /// predicate in step 2.
+    pub join_cutoff: f64,
+    /// Spanning-tree bias.
+    pub shape: GraphShape,
+}
+
+impl Default for QuerySpec {
+    fn default() -> Self {
+        QuerySpec {
+            cardinalities: CardinalityDist::default_paper(),
+            max_selections: 2,
+            distinct_values: DistinctDist::default_paper(),
+            join_cutoff: 0.01,
+            shape: GraphShape::Random,
+        }
+    }
+}
+
+/// The paper's ten benchmarks: the default plus nine variations (numbered
+/// 1–9 as in Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// The default distributions.
+    Default,
+    /// Variation 1: cardinality range ×10.
+    CardWideRange,
+    /// Variation 2: uniform cardinalities over `[10, 10⁴)`.
+    CardUniform,
+    /// Variation 3: uniform cardinalities over `[10, 10⁵)`.
+    CardUniformWide,
+    /// Variation 4: more distinct values.
+    DistinctMore,
+    /// Variation 5: fewer distinct values (harder queries).
+    DistinctFewer,
+    /// Variation 6: combination of 4 and 5.
+    DistinctBoth,
+    /// Variation 7: join cutoff probability 0.1.
+    GraphDense,
+    /// Variation 8: star-biased join graphs.
+    GraphStar,
+    /// Variation 9: chain-biased join graphs.
+    GraphChain,
+}
+
+impl Benchmark {
+    /// All ten benchmarks; index 0 is the default, 1–9 match Table 3 rows.
+    pub const ALL: [Benchmark; 10] = [
+        Benchmark::Default,
+        Benchmark::CardWideRange,
+        Benchmark::CardUniform,
+        Benchmark::CardUniformWide,
+        Benchmark::DistinctMore,
+        Benchmark::DistinctFewer,
+        Benchmark::DistinctBoth,
+        Benchmark::GraphDense,
+        Benchmark::GraphStar,
+        Benchmark::GraphChain,
+    ];
+
+    /// The nine Table 3 variations, in row order.
+    pub const VARIATIONS: [Benchmark; 9] = [
+        Benchmark::CardWideRange,
+        Benchmark::CardUniform,
+        Benchmark::CardUniformWide,
+        Benchmark::DistinctMore,
+        Benchmark::DistinctFewer,
+        Benchmark::DistinctBoth,
+        Benchmark::GraphDense,
+        Benchmark::GraphStar,
+        Benchmark::GraphChain,
+    ];
+
+    /// Table 3 row number (0 for the default benchmark).
+    pub fn number(self) -> usize {
+        Benchmark::ALL.iter().position(|&b| b == self).unwrap()
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Default => "default",
+            Benchmark::CardWideRange => "card-wide",
+            Benchmark::CardUniform => "card-uniform",
+            Benchmark::CardUniformWide => "card-uniform-wide",
+            Benchmark::DistinctMore => "distinct-more",
+            Benchmark::DistinctFewer => "distinct-fewer",
+            Benchmark::DistinctBoth => "distinct-both",
+            Benchmark::GraphDense => "graph-dense",
+            Benchmark::GraphStar => "graph-star",
+            Benchmark::GraphChain => "graph-chain",
+        }
+    }
+
+    /// The distribution specification for this benchmark.
+    pub fn spec(self) -> QuerySpec {
+        let mut spec = QuerySpec::default();
+        match self {
+            Benchmark::Default => {}
+            Benchmark::CardWideRange => {
+                spec.cardinalities = CardinalityDist::Buckets(vec![
+                    (10, 1_000, 0.2),
+                    (1_000, 10_000, 0.6),
+                    (10_000, 100_000, 0.2),
+                ]);
+            }
+            Benchmark::CardUniform => {
+                spec.cardinalities = CardinalityDist::Uniform(10, 10_000);
+            }
+            Benchmark::CardUniformWide => {
+                spec.cardinalities = CardinalityDist::Uniform(10, 100_000);
+            }
+            Benchmark::DistinctMore => {
+                spec.distinct_values = DistinctDist(vec![
+                    (0.0, 0.2, 0.80),
+                    (0.2, 1.0, 0.16),
+                    (1.0, 1.0, 0.04),
+                ]);
+            }
+            Benchmark::DistinctFewer => {
+                spec.distinct_values = DistinctDist(vec![
+                    (0.0, 0.1, 0.90),
+                    (0.1, 1.0, 0.09),
+                    (1.0, 1.0, 0.01),
+                ]);
+            }
+            Benchmark::DistinctBoth => {
+                spec.distinct_values = DistinctDist(vec![
+                    (0.0, 0.1, 0.80),
+                    (0.1, 1.0, 0.16),
+                    (1.0, 1.0, 0.04),
+                ]);
+            }
+            Benchmark::GraphDense => {
+                spec.join_cutoff = 0.1;
+            }
+            Benchmark::GraphStar => {
+                spec.shape = GraphShape::Star;
+            }
+            Benchmark::GraphChain => {
+                spec.shape = GraphShape::Chain;
+            }
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_cardinalities_cover_buckets() {
+        let d = CardinalityDist::default_paper();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut in_mid = 0;
+        for _ in 0..2000 {
+            let c = d.sample(&mut rng);
+            assert!((10..10_000).contains(&c));
+            if (100..1000).contains(&c) {
+                in_mid += 1;
+            }
+        }
+        // ~60% should land in the middle bucket.
+        assert!((1000..1400).contains(&in_mid), "mid bucket count {in_mid}");
+    }
+
+    #[test]
+    fn uniform_cardinalities_respect_range() {
+        let d = CardinalityDist::Uniform(10, 100_000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let c = d.sample(&mut rng);
+            assert!((10..100_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn distinct_fractions_in_unit_interval() {
+        let d = DistinctDist::default_paper();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ones = 0;
+        for _ in 0..5000 {
+            let f = d.sample(&mut rng);
+            assert!(f > 0.0 && f <= 1.0, "fraction {f}");
+            if f == 1.0 {
+                ones += 1;
+            }
+        }
+        // The 1% point mass should appear but rarely.
+        assert!((10..150).contains(&ones), "point-mass count {ones}");
+    }
+
+    #[test]
+    fn benchmark_numbering_matches_table3() {
+        assert_eq!(Benchmark::Default.number(), 0);
+        assert_eq!(Benchmark::CardWideRange.number(), 1);
+        assert_eq!(Benchmark::GraphChain.number(), 9);
+        assert_eq!(Benchmark::VARIATIONS.len(), 9);
+    }
+
+    #[test]
+    fn specs_differ_from_default_where_expected() {
+        let d = QuerySpec::default();
+        for b in Benchmark::VARIATIONS {
+            assert_ne!(b.spec(), d, "{b:?} must vary the default spec");
+        }
+        assert_eq!(Benchmark::Default.spec(), d);
+        assert_eq!(Benchmark::GraphDense.spec().join_cutoff, 0.1);
+        assert_eq!(Benchmark::GraphStar.spec().shape, GraphShape::Star);
+    }
+}

@@ -1,0 +1,56 @@
+//! Plot-ready search trajectories: trace best-so-far cost against budget
+//! for several methods on one query and write CSVs under `results/`.
+//!
+//! ```sh
+//! cargo run --release --example search_trace
+//! # then plot results/trace_*.csv (units, best_cost) with any tool
+//! ```
+
+use ljqo::prelude::*;
+use ljqo_workload::{generate_query, Benchmark};
+
+fn main() {
+    let query = generate_query(&Benchmark::Default.spec(), 40, 0x77ace);
+    println!(
+        "tracing a {}-join default-benchmark query (seed 0x77ace)\n",
+        query.n_joins()
+    );
+    let model = MemoryCostModel::default();
+    let runner = MethodRunner::default();
+
+    std::fs::create_dir_all("results").ok();
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "method", "cost@0.3N²", "final cost", "points"
+    );
+    for method in [Method::Iai, Method::Agi, Method::Ii, Method::Sa] {
+        let trace = trace_run(
+            &query,
+            &model,
+            method,
+            &runner,
+            TimeLimit::of(9.0),
+            5.0,
+            90, // one point per 0.1N²
+            42,
+        );
+        let at_03 = trace
+            .points
+            .iter()
+            .find(|p| p.units >= TimeLimit::of(0.3).units(query.n_joins(), 5.0))
+            .map(|p| p.best_cost)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:>6} {:>14.4e} {:>14.4e} {:>10}",
+            trace.method,
+            at_03,
+            trace.final_cost,
+            trace.points.len()
+        );
+        let path = format!("results/trace_{}.csv", method.name().to_lowercase());
+        if let Err(e) = std::fs::write(&path, trace.to_csv()) {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+    println!("\nwrote results/trace_<method>.csv");
+}

@@ -1,0 +1,13 @@
+//! # ljqo-repro — workspace umbrella crate
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories; the library surface is re-exported from the
+//! [`ljqo`] core crate. Depend on `ljqo` directly in real projects.
+//!
+//! See `README.md` for the tour and `DESIGN.md` for the paper-to-module
+//! map.
+
+#![warn(missing_docs)]
+
+pub use ljqo::prelude;
+pub use ljqo::*;

@@ -1,0 +1,170 @@
+//! Property-based invariants over randomly generated queries, using
+//! proptest to drive the workload generator's seed/shape space.
+
+use proptest::prelude::*;
+
+use ljqo::prelude::*;
+use ljqo::plan::validity::is_valid;
+use ljqo_workload::{generate_query, Benchmark};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The workload generator always produces connected queries with the
+    /// requested join count, and the identity order is valid.
+    #[test]
+    fn generator_invariants(bench in arb_benchmark(), n in 2usize..40, seed in any::<u64>()) {
+        let query = generate_query(&bench.spec(), n, seed);
+        prop_assert_eq!(query.n_joins(), n);
+        prop_assert!(query.graph().is_connected());
+        let identity: Vec<RelId> = query.rel_ids().collect();
+        prop_assert!(is_valid(query.graph(), &identity));
+        for e in query.graph().edges() {
+            prop_assert!(e.selectivity > 0.0 && e.selectivity <= 1.0);
+        }
+    }
+
+    /// Random valid orders are valid permutations of the whole component.
+    #[test]
+    fn random_order_invariants(n in 2usize..40, seed in any::<u64>(), rng_seed in any::<u64>()) {
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let order = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+        prop_assert_eq!(order.len(), comp.len());
+        prop_assert!(is_valid(query.graph(), order.rels()));
+    }
+
+    /// Moves proposed by the generator preserve validity and are exactly
+    /// undoable.
+    #[test]
+    fn move_invariants(n in 3usize..30, seed in any::<u64>(), rng_seed in any::<u64>()) {
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut order = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+        let mut gen = MoveGenerator::new(query.n_relations(), MoveSet::default());
+        for _ in 0..20 {
+            let before = order.clone();
+            if let Some(mv) = gen.propose(query.graph(), &mut order, &mut rng) {
+                prop_assert!(is_valid(query.graph(), order.rels()));
+                mv.undo(&mut order);
+                prop_assert_eq!(&order, &before);
+                mv.apply(&mut order);
+            }
+        }
+    }
+
+    /// Augmentation produces a valid full permutation for every criterion
+    /// and every choice of first relation.
+    #[test]
+    fn augmentation_invariants(n in 2usize..25, seed in any::<u64>()) {
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        for crit in AugmentationCriterion::ALL {
+            let h = AugmentationHeuristic::new(crit);
+            for order in h.generate_all(&query, &comp) {
+                prop_assert_eq!(order.len(), comp.len());
+                prop_assert!(is_valid(query.graph(), order.rels()));
+            }
+        }
+    }
+
+    /// KBZ produces a valid full permutation on arbitrary (cyclic) graphs.
+    #[test]
+    fn kbz_invariants(n in 2usize..25, seed in any::<u64>()) {
+        let query = generate_query(&Benchmark::GraphDense.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::new(&query, &model);
+        let order = KbzHeuristic::default().generate(&mut ev, &comp).unwrap();
+        prop_assert_eq!(order.len(), comp.len());
+        prop_assert!(is_valid(query.graph(), order.rels()));
+    }
+
+    /// Costs are positive and finite on valid orders under both models,
+    /// and the final estimated size is order-invariant.
+    #[test]
+    fn cost_invariants(n in 2usize..30, seed in any::<u64>(), rng_seed in any::<u64>()) {
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let a = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+        let b = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+        for model in [&MemoryCostModel::default() as &dyn CostModel,
+                      &DiskCostModel::default() as &dyn CostModel] {
+            let ca = model.order_cost(&query, a.rels());
+            let cb = model.order_cost(&query, b.rels());
+            prop_assert!(ca > 0.0 && ca.is_finite());
+            prop_assert!(cb > 0.0 && cb.is_finite());
+            // The lower bound is admissible for both orders.
+            let lb = model.lower_bound(&query, &comp);
+            prop_assert!(lb <= ca * (1.0 + 1e-12) && lb <= cb * (1.0 + 1e-12));
+        }
+        let sa = ljqo::cost::estimate::final_result_size(&query, a.rels());
+        let ia = ljqo::cost::estimate::intermediate_sizes(&query, a.rels());
+        let ib = ljqo::cost::estimate::intermediate_sizes(&query, b.rels());
+        let (fa, fb) = (*ia.last().unwrap(), *ib.last().unwrap());
+        prop_assert!((fa - fb).abs() <= fa.max(fb) * 1e-6);
+        prop_assert!((fa - sa).abs() <= fa.max(sa) * 1e-6);
+    }
+
+    /// Local improvement never worsens an order and preserves validity.
+    #[test]
+    fn local_improvement_invariants(n in 3usize..20, seed in any::<u64>(),
+                                    cluster in 2usize..5, rng_seed in any::<u64>()) {
+        let overlap = cluster - 1;
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut order = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+        let before = model.order_cost(&query, order.rels());
+        let mut ev = Evaluator::new(&query, &model);
+        LocalImprovement::new(cluster, overlap).improve(&mut ev, &mut order);
+        let after = model.order_cost(&query, order.rels());
+        prop_assert!(after <= before * (1.0 + 1e-12));
+        prop_assert!(is_valid(query.graph(), order.rels()));
+        prop_assert_eq!(order.len(), comp.len());
+    }
+
+    /// The evaluator's budget is respected up to one indivisible step and
+    /// scaled-cost statistics stay within [1, 10].
+    #[test]
+    fn budget_and_scaling_invariants(n in 3usize..25, seed in any::<u64>(), budget in 16u64..5_000) {
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, budget);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        MethodRunner::default().run(Method::Iai, &mut ev, &comp, &mut rng);
+        let slack = 64 + 5 * query.n_relations() as u64;
+        prop_assert!(ev.used() <= budget + slack);
+        let best = ev.best_cost();
+        prop_assert!(best.is_finite());
+        let s = scaled_cost(best * 3.0, best);
+        prop_assert!((1.0..=10.0).contains(&s));
+    }
+
+    /// DP (when feasible) lower-bounds every method's result.
+    #[test]
+    fn dp_is_a_true_lower_bound(n in 4usize..11, seed in any::<u64>()) {
+        let query = generate_query(&Benchmark::Default.spec(), n, seed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let (_, opt) = optimal_order_dp(&query, &comp, &model).unwrap();
+        for method in [Method::Ii, Method::Iai, Method::Agi] {
+            let mut ev = Evaluator::with_budget(&query, &model, 2_000);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5);
+            MethodRunner::default().run(method, &mut ev, &comp, &mut rng);
+            prop_assert!(ev.best_cost() >= opt - opt * 1e-9,
+                         "{} found {} below optimum {}", method, ev.best_cost(), opt);
+        }
+    }
+}

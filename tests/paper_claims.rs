@@ -1,0 +1,177 @@
+//! Small-scale statistical checks of the paper's headline claims. These
+//! are deliberately modest (few queries, small N) so the test suite stays
+//! fast; the bench harness reruns them at full scale.
+
+use ljqo::prelude::*;
+use ljqo_workload::{generate_query, Benchmark};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const N: usize = 20;
+const QUERIES: u64 = 8;
+
+/// Best cost found by `method` at time limit `tau` on a query.
+fn run(query: &Query, method: Method, tau: f64, seed: u64) -> f64 {
+    let model = MemoryCostModel::default();
+    let budget = TimeLimit::of(tau).units(query.n_joins(), 5.0);
+    let mut ev = Evaluator::with_budget(query, &model, budget);
+    let comp: Vec<RelId> = query.rel_ids().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    MethodRunner::default().run(method, &mut ev, &comp, &mut rng);
+    ev.best_cost()
+}
+
+/// Mean of per-query cost ratios method_a / method_b.
+fn mean_ratio(method_a: Method, method_b: Method, tau: f64) -> f64 {
+    let mut sum = 0.0;
+    for q in 0..QUERIES {
+        let query = generate_query(&Benchmark::Default.spec(), N, 0xc1a + q);
+        let a = run(&query, method_a, tau, q ^ 0x1);
+        let b = run(&query, method_b, tau, q ^ 0x2);
+        sum += (a / b).clamp(0.1, 10.0);
+    }
+    sum / QUERIES as f64
+}
+
+#[test]
+fn claim_sa_is_inferior_to_ii_at_generous_limits() {
+    // Paper §6.4: "Simulated annealing alone and the combinations
+    // involving simulated annealing are clearly inferior."
+    let ratio = mean_ratio(Method::Sa, Method::Ii, 9.0);
+    assert!(ratio >= 1.0, "SA/II mean ratio {ratio} < 1");
+}
+
+#[test]
+fn claim_iai_at_least_matches_ii_at_generous_limits() {
+    // Paper: IAI is the method of choice at 9N².
+    let ratio = mean_ratio(Method::Iai, Method::Ii, 9.0);
+    assert!(ratio <= 1.005, "IAI/II mean ratio {ratio} > 1");
+}
+
+#[test]
+fn claim_iai_beats_sa_combinations() {
+    // At this small sample the ratios are near 1 but must not favor the
+    // SA combinations by any meaningful margin.
+    for sa_combo in [Method::Saa, Method::Sak] {
+        let ratio = mean_ratio(Method::Iai, sa_combo, 9.0);
+        assert!(ratio <= 1.01, "IAI vs {sa_combo}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn claim_augmentation_criterion3_beats_criterion1() {
+    // Table 1: minimum join selectivity (3) clearly beats minimum
+    // cardinality (1).
+    let mut wins3 = 0;
+    for q in 0..QUERIES {
+        let query = generate_query(&Benchmark::Default.spec(), N, 0x7a + q);
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let mut best = [f64::INFINITY; 2];
+        for (i, crit) in [
+            AugmentationCriterion::MinSelectivity,
+            AugmentationCriterion::MinCardinality,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let h = AugmentationHeuristic::new(crit);
+            let mut ev = Evaluator::new(&query, &model);
+            for order in h.generate_all(&query, &comp) {
+                best[i] = best[i].min(ev.cost(&order));
+            }
+        }
+        if best[0] <= best[1] {
+            wins3 += 1;
+        }
+    }
+    assert!(
+        wins3 * 2 > QUERIES as usize,
+        "criterion 3 won only {wins3}/{QUERIES} queries"
+    );
+}
+
+#[test]
+fn claim_kbz_is_much_more_expensive_per_state_than_augmentation() {
+    // Paper §6.4: KBZ "takes much longer to generate a single state than
+    // the augmentation heuristic" — our budget accounting must reflect
+    // O(N²) vs O(N) per state.
+    let query = generate_query(&Benchmark::Default.spec(), 30, 0x33);
+    let model = MemoryCostModel::default();
+    let comp: Vec<RelId> = query.rel_ids().collect();
+
+    let mut ev = Evaluator::new(&query, &model);
+    KbzHeuristic::default().generate(&mut ev, &comp).unwrap();
+    let kbz_units_per_state = ev.used();
+
+    let mut ev = Evaluator::new(&query, &model);
+    ev.charge(comp.len() as u64);
+    let aug = AugmentationHeuristic::default();
+    let first = AugmentationHeuristic::first_relations(&query, &comp)[0];
+    ev.cost(&aug.generate(&query, &comp, first));
+    let aug_units_per_state = ev.used();
+
+    assert!(
+        kbz_units_per_state >= 10 * aug_units_per_state,
+        "KBZ {kbz_units_per_state} units vs augmentation {aug_units_per_state}"
+    );
+}
+
+#[test]
+fn claim_heuristics_beat_random_states_on_average() {
+    // §6.4: "The heuristic provides (on the average) better starting
+    // points than the random state generator."
+    let model = MemoryCostModel::default();
+    let mut aug_better = 0;
+    for q in 0..QUERIES {
+        let query = generate_query(&Benchmark::Default.spec(), N, 0x9d + q);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let mut ev = Evaluator::new(&query, &model);
+
+        let aug = AugmentationHeuristic::default();
+        let first = AugmentationHeuristic::first_relations(&query, &comp)[0];
+        let aug_cost = ev.cost(&aug.generate(&query, &comp, first));
+
+        let mut rng = SmallRng::seed_from_u64(q);
+        let mut random_mean = 0.0;
+        for _ in 0..10 {
+            let o = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+            random_mean += ev.cost_uncharged(&o) / 10.0;
+        }
+        if aug_cost < random_mean {
+            aug_better += 1;
+        }
+    }
+    assert!(
+        aug_better as u64 * 4 >= QUERIES * 3,
+        "augmentation beat the random mean on only {aug_better}/{QUERIES} queries"
+    );
+}
+
+#[test]
+fn claim_method_ranking_survives_the_disk_cost_model() {
+    // §6.2: changing the cost model does not alter the ordering.
+    let model = DiskCostModel::default();
+    let mut sa_worse = 0;
+    for q in 0..QUERIES {
+        let query = generate_query(&Benchmark::Default.spec(), N, 0xd15c + q);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let budget = TimeLimit::of(9.0).units(N, 5.0);
+        let mut costs = [0.0f64; 2];
+        for (i, m) in [Method::Sa, Method::Iai].into_iter().enumerate() {
+            let mut ev = Evaluator::with_budget(&query, &model, budget);
+            let mut rng = SmallRng::seed_from_u64(q ^ 0x8);
+            MethodRunner::default().run(m, &mut ev, &comp, &mut rng);
+            costs[i] = ev.best_cost();
+        }
+        if costs[0] >= costs[1] {
+            sa_worse += 1;
+        }
+    }
+    assert!(
+        sa_worse as u64 * 4 >= QUERIES * 3,
+        "under the disk model SA beat IAI on {}/{} queries",
+        QUERIES as usize - sa_worse,
+        QUERIES
+    );
+}
