@@ -4,15 +4,13 @@
 //! measure what a unit costs in wall time for both models across query
 //! sizes, plus the estimator on its own.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ljqo_bench::timing::{bench, black_box};
 use ljqo_cost::estimate::{intermediate_sizes, SizeWalker};
 use ljqo_cost::{CostModel, DiskCostModel, MemoryCostModel};
 use ljqo_plan::JoinOrder;
 use ljqo_workload::{generate_query, Benchmark};
 
-fn bench_order_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("order_cost");
+fn bench_order_cost() {
     for &n in &[10usize, 50, 100] {
         let query = generate_query(&Benchmark::Default.spec(), n, 42);
         let order = JoinOrder::identity(&query);
@@ -20,31 +18,26 @@ fn bench_order_cost(c: &mut Criterion) {
         let disk = DiskCostModel::default();
         let mut walker = SizeWalker::new(query.n_relations());
 
-        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(memory.order_cost_with(&query, black_box(order.rels()), &mut walker))
-            })
+        bench(&format!("order_cost/memory/{n}"), || {
+            memory.order_cost_with(&query, black_box(order.rels()), &mut walker)
         });
-        group.bench_with_input(BenchmarkId::new("disk", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(disk.order_cost_with(&query, black_box(order.rels()), &mut walker))
-            })
+        bench(&format!("order_cost/disk/{n}"), || {
+            disk.order_cost_with(&query, black_box(order.rels()), &mut walker)
         });
     }
-    group.finish();
 }
 
-fn bench_estimator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("estimator");
+fn bench_estimator() {
     for &n in &[10usize, 50, 100] {
         let query = generate_query(&Benchmark::Default.spec(), n, 7);
         let order = JoinOrder::identity(&query);
-        group.bench_with_input(BenchmarkId::new("intermediate_sizes", n), &n, |b, _| {
-            b.iter(|| black_box(intermediate_sizes(&query, black_box(order.rels()))))
+        bench(&format!("estimator/intermediate_sizes/{n}"), || {
+            intermediate_sizes(&query, black_box(order.rels()))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_order_cost, bench_estimator);
-criterion_main!(benches);
+fn main() {
+    bench_order_cost();
+    bench_estimator();
+}

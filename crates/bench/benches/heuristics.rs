@@ -3,8 +3,7 @@
 //! real-time counterpart of the budget units the optimizer charges them
 //! (`N` per augmentation state, `~N²` per KBZ state).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ljqo_bench::timing::bench;
 use ljqo_cost::{Evaluator, MemoryCostModel};
 use ljqo_heuristics::{
     AugmentationCriterion, AugmentationHeuristic, KbzHeuristic, LocalImprovement,
@@ -12,8 +11,7 @@ use ljqo_heuristics::{
 use ljqo_plan::JoinOrder;
 use ljqo_workload::{generate_query, Benchmark};
 
-fn bench_augmentation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("augmentation_generate");
+fn bench_augmentation() {
     for &n in &[10usize, 50, 100] {
         let query = generate_query(&Benchmark::Default.spec(), n, 21);
         let comp: Vec<_> = query.rel_ids().collect();
@@ -23,50 +21,42 @@ fn bench_augmentation(c: &mut Criterion) {
             AugmentationCriterion::MinRank,
         ] {
             let h = AugmentationHeuristic::new(criterion);
-            group.bench_function(
-                BenchmarkId::new(format!("crit{}", criterion.number()), n),
-                |b| b.iter(|| black_box(h.generate(&query, &comp, first))),
+            bench(
+                &format!("augmentation_generate/crit{}/{n}", criterion.number()),
+                || h.generate(&query, &comp, first),
             );
         }
     }
-    group.finish();
 }
 
-fn bench_kbz(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kbz_generate");
-    group.sample_size(30);
+fn bench_kbz() {
     for &n in &[10usize, 50, 100] {
         let query = generate_query(&Benchmark::Default.spec(), n, 23);
         let comp: Vec<_> = query.rel_ids().collect();
         let model = MemoryCostModel::default();
         let kbz = KbzHeuristic::default();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut ev = Evaluator::new(&query, &model);
-                black_box(kbz.generate(&mut ev, &comp))
-            })
+        bench(&format!("kbz_generate/{n}"), || {
+            let mut ev = Evaluator::new(&query, &model);
+            kbz.generate(&mut ev, &comp)
         });
     }
-    group.finish();
 }
 
-fn bench_local_improvement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_improvement_pass");
-    group.sample_size(20);
+fn bench_local_improvement() {
     let query = generate_query(&Benchmark::Default.spec(), 30, 29);
     let model = MemoryCostModel::default();
     for (cl, ov) in [(2usize, 1usize), (3, 2), (4, 3)] {
         let strategy = LocalImprovement::new(cl, ov);
-        group.bench_function(BenchmarkId::from_parameter(format!("c{cl}o{ov}")), |b| {
-            b.iter(|| {
-                let mut ev = Evaluator::new(&query, &model);
-                let mut order = JoinOrder::identity(&query);
-                black_box(strategy.pass(&mut ev, &mut order))
-            })
+        bench(&format!("local_improvement_pass/c{cl}o{ov}"), || {
+            let mut ev = Evaluator::new(&query, &model);
+            let mut order = JoinOrder::identity(&query);
+            strategy.pass(&mut ev, &mut order)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_augmentation, bench_kbz, bench_local_improvement);
-criterion_main!(benches);
+fn main() {
+    bench_augmentation();
+    bench_kbz();
+    bench_local_improvement();
+}

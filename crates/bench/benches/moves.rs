@@ -3,7 +3,7 @@
 //! chain) — star graphs reject most proposals, chains reject many, so the
 //! per-valid-move cost differs sharply by shape.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ljqo_bench::timing::{bench, black_box};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -11,60 +11,58 @@ use ljqo_plan::validity::{is_valid, ValidityChecker};
 use ljqo_plan::{random_valid_order, JoinOrder, MoveGenerator, MoveSet};
 use ljqo_workload::{generate_query, Benchmark};
 
-fn bench_validity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("validity");
+fn bench_validity() {
     for &n in &[10usize, 50, 100] {
         let query = generate_query(&Benchmark::Default.spec(), n, 3);
         let order = JoinOrder::identity(&query);
-        group.bench_with_input(BenchmarkId::new("is_valid", n), &n, |b, _| {
-            b.iter(|| black_box(is_valid(query.graph(), black_box(order.rels()))))
+        bench(&format!("validity/is_valid/{n}"), || {
+            is_valid(query.graph(), black_box(order.rels()))
         });
         let mut checker = ValidityChecker::new(query.n_relations());
-        group.bench_with_input(BenchmarkId::new("checker", n), &n, |b, _| {
-            b.iter(|| black_box(checker.is_valid(query.graph(), black_box(order.rels()))))
+        bench(&format!("validity/checker/{n}"), || {
+            checker.is_valid(query.graph(), black_box(order.rels()))
         });
     }
-    group.finish();
 }
 
-fn bench_propose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("propose_valid_move");
-    for bench in [
+fn bench_propose() {
+    for benchmark in [
         Benchmark::Default,
         Benchmark::GraphStar,
         Benchmark::GraphChain,
     ] {
-        let query = generate_query(&bench.spec(), 50, 11);
+        let query = generate_query(&benchmark.spec(), 50, 11);
         let comp: Vec<_> = query.rel_ids().collect();
         let mut rng = SmallRng::seed_from_u64(5);
         let mut order = random_valid_order(query.graph(), &comp, &mut rng);
         let mut gen = MoveGenerator::new(query.n_relations(), MoveSet::default());
-        group.bench_function(BenchmarkId::new("n50", bench.name()), |b| {
-            b.iter(|| {
+        bench(
+            &format!("propose_valid_move/n50/{}", benchmark.name()),
+            || {
                 if let Some((mv, attempts)) =
                     gen.propose_counted(query.graph(), &mut order, &mut rng)
                 {
                     mv.undo(&mut order);
                     black_box(attempts);
                 }
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_random_state(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random_valid_order");
+fn bench_random_state() {
     for &n in &[10usize, 50, 100] {
         let query = generate_query(&Benchmark::Default.spec(), n, 17);
         let comp: Vec<_> = query.rel_ids().collect();
         let mut rng = SmallRng::seed_from_u64(1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(random_valid_order(query.graph(), &comp, &mut rng)))
+        bench(&format!("random_valid_order/{n}"), || {
+            random_valid_order(query.graph(), &comp, &mut rng)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_validity, bench_propose, bench_random_state);
-criterion_main!(benches);
+fn main() {
+    bench_validity();
+    bench_propose();
+    bench_random_state();
+}

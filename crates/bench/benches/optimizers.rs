@@ -3,7 +3,7 @@
 //! paper rules DP out beyond ~14 joins (its time doubles per relation)
 //! while the randomized methods scale by the budget alone.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ljqo_bench::timing::bench;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -12,84 +12,64 @@ use ljqo::{IterativeImprovement, Method, MethodRunner, SimulatedAnnealing};
 use ljqo_cost::{Evaluator, MemoryCostModel};
 use ljqo_workload::{generate_query, Benchmark};
 
-fn bench_descent(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ii_budgeted_run");
-    group.sample_size(20);
+fn bench_descent() {
     let model = MemoryCostModel::default();
     for &n in &[10usize, 50] {
         let query = generate_query(&Benchmark::Default.spec(), n, 31);
         let comp: Vec<_> = query.rel_ids().collect();
         let ii = IterativeImprovement::default();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut ev = Evaluator::with_budget(&query, &model, 2_000);
-                let mut rng = SmallRng::seed_from_u64(3);
-                ii.run(&mut ev, &comp, &mut rng);
-                black_box(ev.best_cost())
-            })
+        bench(&format!("ii_budgeted_run/{n}"), || {
+            let mut ev = Evaluator::with_budget(&query, &model, 2_000);
+            let mut rng = SmallRng::seed_from_u64(3);
+            ii.run(&mut ev, &comp, &mut rng);
+            ev.best_cost()
         });
     }
-    group.finish();
 }
 
-fn bench_sa_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sa_budgeted_run");
-    group.sample_size(20);
+fn bench_sa_chain() {
     let model = MemoryCostModel::default();
     let query = generate_query(&Benchmark::Default.spec(), 50, 37);
     let comp: Vec<_> = query.rel_ids().collect();
     let sa = SimulatedAnnealing::default();
-    group.bench_function("n50_2000units", |b| {
-        b.iter(|| {
-            let mut ev = Evaluator::with_budget(&query, &model, 2_000);
-            let mut rng = SmallRng::seed_from_u64(5);
-            sa.run(&mut ev, &comp, &mut rng);
-            black_box(ev.best_cost())
-        })
+    bench("sa_budgeted_run/n50_2000units", || {
+        let mut ev = Evaluator::with_budget(&query, &model, 2_000);
+        let mut rng = SmallRng::seed_from_u64(5);
+        sa.run(&mut ev, &comp, &mut rng);
+        ev.best_cost()
     });
-    group.finish();
 }
 
-fn bench_methods_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("method_9n2_n20");
-    group.sample_size(10);
+fn bench_methods_end_to_end() {
     let model = MemoryCostModel::default();
     let query = generate_query(&Benchmark::Default.spec(), 20, 41);
     let comp: Vec<_> = query.rel_ids().collect();
     let runner = MethodRunner::default();
     for m in [Method::Iai, Method::Agi, Method::Ii, Method::Sa] {
-        group.bench_function(m.name(), |b| {
-            b.iter(|| {
-                // 9N²·κ at N=20, κ=5.
-                let mut ev = Evaluator::with_budget(&query, &model, 18_000);
-                let mut rng = SmallRng::seed_from_u64(7);
-                runner.run(m, &mut ev, &comp, &mut rng);
-                black_box(ev.best_cost())
-            })
+        bench(&format!("method_9n2_n20/{}", m.name()), || {
+            // 9N²·κ at N=20, κ=5.
+            let mut ev = Evaluator::with_budget(&query, &model, 18_000);
+            let mut rng = SmallRng::seed_from_u64(7);
+            runner.run(m, &mut ev, &comp, &mut rng);
+            ev.best_cost()
         });
     }
-    group.finish();
 }
 
-fn bench_dp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dp_exact");
-    group.sample_size(10);
+fn bench_dp() {
     let model = MemoryCostModel::default();
     for &n in &[10usize, 14, 18] {
         let query = generate_query(&Benchmark::Default.spec(), n, 43);
         let comp: Vec<_> = query.rel_ids().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(optimal_order_dp(&query, &comp, &model)))
+        bench(&format!("dp_exact/{n}"), || {
+            optimal_order_dp(&query, &comp, &model)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_descent,
-    bench_sa_chain,
-    bench_methods_end_to_end,
-    bench_dp
-);
-criterion_main!(benches);
+fn main() {
+    bench_descent();
+    bench_sa_chain();
+    bench_methods_end_to_end();
+    bench_dp();
+}

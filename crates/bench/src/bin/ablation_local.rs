@@ -67,7 +67,7 @@ fn main() {
             before_sum / count as f64,
             after_sum / count as f64,
         );
-        rows.push(serde_json::json!({
+        rows.push(ljqo_json::json!({
             "cluster": strategy.cluster,
             "overlap": strategy.overlap,
             "pass_evals_n30": pass_evals,
@@ -76,10 +76,10 @@ fn main() {
         }));
     }
 
-    let out = serde_json::json!({ "experiment": "ablation_local", "rows": rows });
+    let out = ljqo_json::json!({ "experiment": "ablation_local", "rows": rows });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("ablation_local.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

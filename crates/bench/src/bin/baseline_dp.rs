@@ -62,17 +62,17 @@ fn main() {
             row.push(mean);
         }
         println!();
-        rows.push(serde_json::json!({ "n": n, "ratio_to_optimum": row }));
+        rows.push(ljqo_json::json!({ "n": n, "ratio_to_optimum": row }));
     }
 
-    let out = serde_json::json!({
+    let out = ljqo_json::json!({
         "experiment": "baseline_dp",
         "methods": Method::ALL.iter().map(|m| m.name()).chain(std::iter::once("RAND")).collect::<Vec<_>>(),
         "rows": rows,
     });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("baseline_dp.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

@@ -71,7 +71,7 @@ fn main() {
             wins,
             queries_per_bench
         );
-        rows.push(serde_json::json!({
+        rows.push(ljqo_json::json!({
             "benchmark": bench.name(),
             "mean_ratio_memory": mem_sum / q,
             "max_ratio_memory": mem_max,
@@ -85,10 +85,10 @@ fn main() {
          benchmarks; larger ratios mark shapes where bushy plans genuinely help."
     );
 
-    let out = serde_json::json!({ "experiment": "ext_bushy", "n": n_joins, "rows": rows });
+    let out = ljqo_json::json!({ "experiment": "ext_bushy", "n": n_joins, "rows": rows });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("ext_bushy.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

@@ -26,7 +26,14 @@ fn geo_q_error(estimates: &[f64], measured: &[usize]) -> (f64, usize) {
             n += 1;
         }
     }
-    (if n == 0 { f64::NAN } else { (sum / n as f64).exp() }, n)
+    (
+        if n == 0 {
+            f64::NAN
+        } else {
+            (sum / n as f64).exp()
+        },
+        n,
+    )
 }
 
 fn main() {
@@ -54,7 +61,9 @@ fn main() {
             cardinalities: CardinalityDist::Uniform(50, 2_000),
             ..bench.spec()
         };
-        let engine = ExecutionEngine { max_rows: 2_000_000 };
+        let engine = ExecutionEngine {
+            max_rows: 2_000_000,
+        };
         let mut static_sum = 0.0;
         let mut prop_sum = 0.0;
         let mut steps = 0usize;
@@ -90,9 +99,13 @@ fn main() {
             steps,
             static_geo,
             prop_geo,
-            if prop_geo <= static_geo * 1.001 { "yes" } else { "no" }
+            if prop_geo <= static_geo * 1.001 {
+                "yes"
+            } else {
+                "no"
+            }
         );
-        rows.push(serde_json::json!({
+        rows.push(ljqo_json::json!({
             "benchmark": bench.name(),
             "static_geo_q_error": static_geo,
             "propagated_geo_q_error": prop_geo,
@@ -100,10 +113,10 @@ fn main() {
         }));
     }
 
-    let out = serde_json::json!({ "experiment": "ext_estimator", "rows": rows });
+    let out = ljqo_json::json!({ "experiment": "ext_estimator", "rows": rows });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("ext_estimator.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

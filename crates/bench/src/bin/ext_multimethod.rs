@@ -79,20 +79,24 @@ fn main() {
             pct(2),
             sa_over_iai,
         );
-        rows.push(serde_json::json!({
+        rows.push(ljqo_json::json!({
             "n": n,
             "hash_mean_cost": hash_sum / queries_per_n as f64,
             "multi_mean_cost": multi_sum / queries_per_n as f64,
-            "method_mix_pct": { "hash": pct(0), "nested_loop": pct(1), "sort_merge": pct(2) },
+            "method_mix_pct": ljqo_json::json!({
+                "hash": pct(0), "nested_loop": pct(1), "sort_merge": pct(2)
+            }),
             "sa_over_iai": sa_over_iai,
         }));
     }
-    println!("\nSA/IAI > 1 under the multi-method model: the paper's ranking is cost-model-robust.");
+    println!(
+        "\nSA/IAI > 1 under the multi-method model: the paper's ranking is cost-model-robust."
+    );
 
-    let out = serde_json::json!({ "experiment": "ext_multimethod", "rows": rows });
+    let out = ljqo_json::json!({ "experiment": "ext_multimethod", "rows": rows });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("ext_multimethod.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

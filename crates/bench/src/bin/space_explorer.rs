@@ -67,7 +67,7 @@ fn main() {
             minima,
             deep
         );
-        rows.push(serde_json::json!({
+        rows.push(ljqo_json::json!({
             "benchmark": bench.name(),
             "median_over_min": med,
             "p90_over_min": p90,
@@ -78,10 +78,10 @@ fn main() {
         }));
     }
 
-    let out = serde_json::json!({ "experiment": "space_explorer", "n": n, "rows": rows });
+    let out = ljqo_json::json!({ "experiment": "space_explorer", "n": n, "rows": rows });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("space_explorer.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

@@ -42,21 +42,21 @@ fn main() {
             row.push(s);
         }
         println!();
-        rows.push(serde_json::json!({
+        rows.push(ljqo_json::json!({
             "benchmark": bench.name(),
             "number": bench.number(),
             "mean_scaled": row,
         }));
     }
 
-    let out = serde_json::json!({
+    let out = ljqo_json::json!({
         "experiment": "table3",
         "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
         "rows": rows,
     });
     std::fs::create_dir_all(&args.out_dir).ok();
     let path = args.out_dir.join("table3.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+    match std::fs::write(&path, out.to_string_pretty()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

@@ -135,7 +135,14 @@ mod tests {
     #[test]
     fn parse_and_apply() {
         let a = Args::parse_from(strs(&[
-            "--queries", "7", "--kappa", "2.5", "--seed", "99", "--out", "/tmp/x",
+            "--queries",
+            "7",
+            "--kappa",
+            "2.5",
+            "--seed",
+            "99",
+            "--out",
+            "/tmp/x",
         ]));
         assert_eq!(a.queries_per_n, Some(7));
         assert_eq!(a.kappa, Some(2.5));

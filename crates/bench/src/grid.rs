@@ -1,9 +1,9 @@
 //! The experiment grid: queries × methods × time limits, run in parallel.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 use ljqo::eval::{mean_scaled_cost, per_query_best};
 use ljqo::{Method, MethodRunner};
@@ -12,7 +12,7 @@ use ljqo_heuristics::{AugmentationCriterion, AugmentationHeuristic, KbzHeuristic
 use ljqo_workload::{generate_query, Benchmark};
 
 /// Which cost model to evaluate under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// Main-memory hash-join model (the paper's default).
     Memory,
@@ -120,7 +120,7 @@ impl GridSpec {
 /// Results: `costs[col][query][tau]` = best cost found by column `col` on
 /// query `query` within time limit `taus[tau]` (replicates already
 /// averaged), plus the per-query scaling reference.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CostMatrix {
     /// Column labels.
     pub labels: Vec<String>,
@@ -146,7 +146,11 @@ impl CostMatrix {
     /// The full mean-scaled table: `[col][tau]`.
     pub fn mean_scaled_table(&self) -> Vec<Vec<f64>> {
         (0..self.labels.len())
-            .map(|c| (0..self.taus.len()).map(|t| self.mean_scaled(c, t)).collect())
+            .map(|c| {
+                (0..self.taus.len())
+                    .map(|t| self.mean_scaled(c, t))
+                    .collect()
+            })
             .collect()
     }
 
@@ -211,7 +215,10 @@ fn run_curve(
         "benchmark queries are connected by construction"
     );
     let component = &components[0];
-    let checkpoints: Vec<u64> = taus.iter().map(|&t| TimeLimit::of(t).units(n, kappa)).collect();
+    let checkpoints: Vec<u64> = taus
+        .iter()
+        .map(|&t| TimeLimit::of(t).units(n, kappa))
+        .collect();
     let budget = *checkpoints.last().unwrap();
     let mut ev = Evaluator::with_budget(query, model, budget);
     ev.set_checkpoints(checkpoints);
@@ -280,9 +287,9 @@ pub fn run_grid(spec: &GridSpec) -> CostMatrix {
         .min(n_queries.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..n_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let qi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if qi >= n_queries {
                     break;
@@ -309,7 +316,7 @@ pub fn run_grid(spec: &GridSpec) -> CostMatrix {
                             *a += c / spec.replicates as f64;
                         }
                     }
-                    let mut lock = costs.lock();
+                    let mut lock = costs.lock().unwrap();
                     lock[ci][qi] = acc;
                 }
                 // Reference-only methods run at the final tau.
@@ -328,16 +335,15 @@ pub fn run_grid(spec: &GridSpec) -> CostMatrix {
                         spec.kappa,
                         seed,
                     );
-                    let mut lock = ref_extra.lock();
+                    let mut lock = ref_extra.lock().unwrap();
                     lock[qi] = lock[qi].min(curve[0]);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    let costs = costs.into_inner();
-    let ref_extra = ref_extra.into_inner();
+    let costs = costs.into_inner().expect("worker thread panicked");
+    let ref_extra = ref_extra.into_inner().expect("worker thread panicked");
 
     // Reference: best at the final tau across columns, folded with the
     // reference-only methods.
@@ -406,7 +412,11 @@ mod tests {
         ]);
         let m = run_grid(&spec);
         for qi in 0..m.reference.len() {
-            let min = m.costs.iter().map(|c| c[qi][1]).fold(f64::INFINITY, f64::min);
+            let min = m
+                .costs
+                .iter()
+                .map(|c| c[qi][1])
+                .fold(f64::INFINITY, f64::min);
             assert_eq!(m.reference[qi], min);
         }
     }

@@ -31,6 +31,7 @@
 pub mod cli;
 pub mod grid;
 pub mod report;
+pub mod timing;
 
 pub use cli::Args;
 pub use grid::{run_grid, CostMatrix, GridSpec, HeuristicKind, ModelKind};

@@ -3,12 +3,10 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
-
 use crate::grid::CostMatrix;
 
 /// A complete experiment report, serializable for `results/*.json`.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Experiment id, e.g. `"table1"` or `"fig4"`.
     pub experiment: String,
@@ -38,6 +36,30 @@ impl Report {
             n_queries: matrix.reference.len(),
             matrix,
         }
+    }
+
+    /// The JSON shape written under `results/`.
+    pub fn to_json(&self) -> ljqo_json::Value {
+        use ljqo_json::Value;
+        let nested = |rows: &Vec<Vec<f64>>| -> Value {
+            Value::Array(rows.iter().map(|r| Value::from(r.clone())).collect())
+        };
+        let costs: Vec<Value> = self.matrix.costs.iter().map(&nested).collect();
+        ljqo_json::json!({
+            "experiment": self.experiment.as_str(),
+            "description": self.description.as_str(),
+            "mean_scaled": nested(&self.mean_scaled),
+            "labels": self.labels.clone(),
+            "taus": self.taus.clone(),
+            "n_queries": self.n_queries,
+            "matrix": ljqo_json::json!({
+                "labels": self.matrix.labels.clone(),
+                "taus": self.matrix.taus.clone(),
+                "query_ns": self.matrix.query_ns.clone(),
+                "costs": costs,
+                "reference": self.matrix.reference.clone(),
+            }),
+        })
     }
 }
 
@@ -73,7 +95,7 @@ pub fn write_json(report: &Report, dir: &Path) -> std::io::Result<std::path::Pat
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", report.experiment));
     let mut f = std::fs::File::create(&path)?;
-    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    let json = report.to_json().to_string_pretty();
     f.write_all(json.as_bytes())?;
     f.write_all(b"\n")?;
     Ok(path)

@@ -23,12 +23,22 @@ use crate::relation::{RelId, Relation};
 pub struct QueryBuilder {
     relations: Vec<Relation>,
     edges: Vec<JoinEdge>,
+    /// First misuse error, surfaced at [`QueryBuilder::build`]. The fluent
+    /// API stays panic-free: a bad call poisons the builder instead of
+    /// aborting the process.
+    error: Option<CatalogError>,
 }
 
 impl QueryBuilder {
     /// Start an empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn poison(&mut self, err: CatalogError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
     }
 
     /// Add a relation; its id is the order of insertion.
@@ -51,38 +61,45 @@ impl QueryBuilder {
         self
     }
 
-    /// Add a selection predicate to the most recently added relation.
-    /// Panics if no relation has been added yet.
+    /// Add a selection predicate to the most recently added relation. If no
+    /// relation has been added yet the builder is poisoned and the error
+    /// surfaces at [`QueryBuilder::build`].
     #[must_use]
     pub fn add_selection_to_last(mut self, selectivity: f64) -> Self {
-        let rel = self
-            .relations
-            .last_mut()
-            .expect("add_selection_to_last before any relation");
-        rel.selections
-            .push(crate::predicate::Selection::new(selectivity));
+        match self.relations.last_mut() {
+            Some(rel) => rel
+                .selections
+                .push(crate::predicate::Selection::new(selectivity)),
+            None => self.poison(CatalogError::SelectionBeforeRelation),
+        }
         self
     }
 
-    /// Look up a relation id by name. Panics if the name is unknown (builder
-    /// misuse is a programming error in examples/tests).
-    fn id_of(&self, name: &str) -> RelId {
-        let idx = self
-            .relations
-            .iter()
-            .position(|r| r.name == name)
-            .unwrap_or_else(|| panic!("unknown relation {name:?} in QueryBuilder"));
-        RelId::from(idx)
+    /// Look up a relation id by name; `None` poisons the builder.
+    fn id_of(&mut self, name: &str) -> Option<RelId> {
+        match self.relations.iter().position(|r| r.name == name) {
+            Some(idx) => Some(RelId::from(idx)),
+            None => {
+                self.poison(CatalogError::UnknownRelation(name.to_string()));
+                None
+            }
+        }
     }
 
     /// Add a join predicate by relation names with an explicit selectivity.
-    /// Distinct counts default to `1 / selectivity` on both sides, which is
-    /// consistent with the uniformity assumption.
+    /// Distinct counts default to `1 / selectivity` on both sides (the
+    /// uniformity assumption), clamped to each side's effective cardinality
+    /// — a join column cannot hold more distinct values than the relation
+    /// has tuples.
     #[must_use]
     pub fn join(mut self, a: &str, b: &str, selectivity: f64) -> Self {
-        let (ia, ib) = (self.id_of(a), self.id_of(b));
+        let (Some(ia), Some(ib)) = (self.id_of(a), self.id_of(b)) else {
+            return self;
+        };
         let d = (1.0 / selectivity).max(1.0);
-        self.edges.push(JoinEdge::new(ia, ib, selectivity, d, d));
+        let da = d.min(self.relations[ia.index()].cardinality());
+        let db = d.min(self.relations[ib.index()].cardinality());
+        self.edges.push(JoinEdge::new(ia, ib, selectivity, da, db));
         self
     }
 
@@ -90,7 +107,9 @@ impl QueryBuilder {
     /// the selectivity follows `1 / max(D_a, D_b)`.
     #[must_use]
     pub fn join_on_distincts(mut self, a: &str, b: &str, distinct_a: f64, distinct_b: f64) -> Self {
-        let (ia, ib) = (self.id_of(a), self.id_of(b));
+        let (Some(ia), Some(ib)) = (self.id_of(a), self.id_of(b)) else {
+            return self;
+        };
         self.edges
             .push(JoinEdge::from_distincts(ia, ib, distinct_a, distinct_b));
         self
@@ -103,8 +122,13 @@ impl QueryBuilder {
         self
     }
 
-    /// Finish and validate.
+    /// Finish and validate: the first builder-misuse error (unknown name,
+    /// selection before any relation) takes precedence, then the full
+    /// [`Query::new`] validation pass runs.
     pub fn build(self) -> Result<Query, CatalogError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
         Query::new(self.relations, self.edges)
     }
 }
@@ -135,13 +159,40 @@ mod tests {
             .build()
             .unwrap();
         let e = &q.graph().edges()[0];
-        assert!((e.distinct_a - 20.0).abs() < 1e-9);
+        // 1/0.05 = 20 distincts, clamped to a's 10 tuples on that side.
+        assert!((e.distinct_a - 10.0).abs() < 1e-9);
+        assert!((e.distinct_b - 20.0).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "unknown relation")]
-    fn unknown_name_panics() {
-        let _ = QueryBuilder::new().relation("a", 10).join("a", "zzz", 0.5);
+    fn unknown_name_is_deferred_to_build() {
+        let err = QueryBuilder::new()
+            .relation("a", 10)
+            .join("a", "zzz", 0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CatalogError::UnknownRelation("zzz".into()));
+    }
+
+    #[test]
+    fn selection_before_relation_is_deferred_to_build() {
+        let err = QueryBuilder::new()
+            .add_selection_to_last(0.5)
+            .relation("a", 10)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CatalogError::SelectionBeforeRelation);
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let err = QueryBuilder::new()
+            .relation("a", 10)
+            .join("a", "zzz", 0.5)
+            .join("a", "yyy", 0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CatalogError::UnknownRelation("zzz".into()));
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! The join graph: an undirected multigraph of join predicates.
 
-use serde::{Deserialize, Serialize};
-
 use crate::predicate::JoinEdge;
 use crate::relation::RelId;
 
 /// Identifier of an edge within a [`JoinGraph`] (index into the edge list).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -23,7 +21,7 @@ impl EdgeId {
 /// optimizer loops (validity checks, frontier scans) run without hashing.
 /// Parallel edges (several join predicates between the same pair) are
 /// allowed; the estimator multiplies their selectivities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JoinGraph {
     n_relations: usize,
     edges: Vec<JoinEdge>,

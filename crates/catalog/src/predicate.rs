@@ -1,27 +1,22 @@
 //! Selection and join predicates.
 
-use serde::{Deserialize, Serialize};
-
 use crate::relation::RelId;
 
 /// A local selection predicate on one relation.
 ///
 /// Only the selectivity matters for join ordering; the paper draws
 /// selectivities from a fixed list (see `ljqo-workload`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Selection {
     /// Fraction of tuples that satisfy the predicate, in `(0, 1]`.
     pub selectivity: f64,
 }
 
 impl Selection {
-    /// Create a selection. Panics in debug builds if the selectivity is not
-    /// in `(0, 1]`.
+    /// Create a selection. Out-of-range values are accepted here and
+    /// rejected by `Query::new` validation — constructors stay panic-free
+    /// so untrusted catalogs fail with a typed `CatalogError`.
     pub fn new(selectivity: f64) -> Self {
-        debug_assert!(
-            selectivity > 0.0 && selectivity <= 1.0,
-            "selection selectivity {selectivity} out of (0,1]"
-        );
         Selection { selectivity }
     }
 }
@@ -38,7 +33,7 @@ impl Selection {
 /// Under the classical uniformity assumption `J_kl = 1 / max(D_a, D_b)`;
 /// [`JoinEdge::from_distincts`] constructs edges that way, but callers may
 /// also set an explicit selectivity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinEdge {
     /// One endpoint.
     pub a: RelId,
@@ -54,6 +49,12 @@ pub struct JoinEdge {
 
 impl JoinEdge {
     /// Create an edge with an explicit selectivity and distinct counts.
+    ///
+    /// Invalid statistics (selectivity outside `(0, 1]`, self-loop) are
+    /// accepted here and rejected by `Query::new` validation — constructors
+    /// stay panic-free so untrusted catalogs fail with a typed
+    /// `CatalogError`. Distinct counts are floored at 1 (NaN stays NaN and
+    /// is caught by validation).
     pub fn new(
         a: impl Into<RelId>,
         b: impl Into<RelId>,
@@ -61,19 +62,16 @@ impl JoinEdge {
         distinct_a: f64,
         distinct_b: f64,
     ) -> Self {
-        let e = JoinEdge {
+        // `d < 1.0` is false for NaN, so NaN passes through to validation
+        // instead of being silently rewritten to a plausible value.
+        let floor = |d: f64| if d < 1.0 { 1.0 } else { d };
+        JoinEdge {
             a: a.into(),
             b: b.into(),
             selectivity,
-            distinct_a: distinct_a.max(1.0),
-            distinct_b: distinct_b.max(1.0),
-        };
-        debug_assert!(
-            e.selectivity > 0.0 && e.selectivity <= 1.0,
-            "join selectivity {selectivity} out of (0,1]"
-        );
-        debug_assert!(e.a != e.b, "self-join edge on {}", e.a);
-        e
+            distinct_a: floor(distinct_a),
+            distinct_b: floor(distinct_b),
+        }
     }
 
     /// Create an edge whose selectivity follows the uniformity assumption
@@ -84,8 +82,8 @@ impl JoinEdge {
         distinct_a: f64,
         distinct_b: f64,
     ) -> Self {
-        let da = distinct_a.max(1.0);
-        let db = distinct_b.max(1.0);
+        let floor = |d: f64| if d < 1.0 { 1.0 } else { d };
+        let (da, db) = (floor(distinct_a), floor(distinct_b));
         let sel = 1.0 / da.max(db);
         JoinEdge::new(a, b, sel, da, db)
     }
@@ -106,15 +104,16 @@ impl JoinEdge {
         rel == self.a || rel == self.b
     }
 
-    /// Distinct count on the side of `rel`. Panics if `rel` is not an
-    /// endpoint.
-    pub fn distinct_on(&self, rel: RelId) -> f64 {
+    /// Distinct count on the side of `rel`; `None` if `rel` is not an
+    /// endpoint (callers iterating incident edges can safely
+    /// `unwrap_or(1.0)`).
+    pub fn distinct_on(&self, rel: RelId) -> Option<f64> {
         if rel == self.a {
-            self.distinct_a
+            Some(self.distinct_a)
         } else if rel == self.b {
-            self.distinct_b
+            Some(self.distinct_b)
         } else {
-            panic!("{rel} is not an endpoint of edge {}-{}", self.a, self.b)
+            None
         }
     }
 }
@@ -142,15 +141,21 @@ mod tests {
     #[test]
     fn distinct_on_each_side() {
         let e = JoinEdge::from_distincts(0u32, 1u32, 7.0, 11.0);
-        assert_eq!(e.distinct_on(RelId(0)), 7.0);
-        assert_eq!(e.distinct_on(RelId(1)), 11.0);
+        assert_eq!(e.distinct_on(RelId(0)), Some(7.0));
+        assert_eq!(e.distinct_on(RelId(1)), Some(11.0));
     }
 
     #[test]
-    #[should_panic]
-    fn distinct_on_non_endpoint_panics() {
+    fn distinct_on_non_endpoint_is_none() {
         let e = JoinEdge::from_distincts(0u32, 1u32, 7.0, 11.0);
-        let _ = e.distinct_on(RelId(3));
+        assert_eq!(e.distinct_on(RelId(3)), None);
+    }
+
+    #[test]
+    fn nan_distincts_are_not_masked() {
+        let e = JoinEdge::new(0u32, 1u32, 0.5, f64::NAN, 4.0);
+        assert!(e.distinct_a.is_nan());
+        assert_eq!(e.distinct_b, 4.0);
     }
 
     #[test]

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::predicate::Selection;
 
 /// Identifier of a relation within a [`crate::Query`].
@@ -12,7 +10,7 @@ use crate::predicate::Selection;
 /// `Query::relations` and into permutation vectors in the plan crate. A
 /// `u32` is ample (the paper tops out at 101 relations) and keeps hot plan
 /// structures small.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelId(pub u32);
 
 impl RelId {
@@ -47,7 +45,7 @@ impl fmt::Display for RelId {
 /// joins, so the quantity relevant to join ordering is the *effective*
 /// cardinality: the base cardinality multiplied by the selectivities of all
 /// local selection predicates (`N_k` in the paper's notation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     /// Human-readable name (used in plan display and examples).
     pub name: String,

@@ -1,63 +1,84 @@
 //! Property tests for the join-graph structure, driven by arbitrary
 //! random edge lists (not the workload generator, so disconnected and
-//! degenerate graphs are covered too).
+//! degenerate graphs are covered too). Implemented as seeded-RNG loops:
+//! the build is offline, so no proptest — every case is reproducible
+//! from its printed seed.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use ljqo_catalog::{JoinEdge, JoinGraph, RelId};
 
-/// Strategy: a graph over `n` relations with arbitrary (possibly
-/// parallel) edges.
-fn arb_graph() -> impl Strategy<Value = JoinGraph> {
-    (2usize..12).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32, 1.0f64..100.0, 1.0f64..100.0).prop_filter_map(
-            "no self loops",
-            |(a, b, da, db)| (a != b).then(|| JoinEdge::from_distincts(a, b, da, db)),
-        );
-        prop::collection::vec(edge, 0..20)
-            .prop_map(move |edges| JoinGraph::new(n, edges))
-    })
+const CASES: u64 = 64;
+
+/// A graph over 2..12 relations with arbitrary (possibly parallel) edges.
+fn arb_graph(rng: &mut SmallRng) -> JoinGraph {
+    let n = rng.gen_range(2usize..12);
+    let n_edges = rng.gen_range(0usize..20);
+    let mut edges = Vec::with_capacity(n_edges);
+    while edges.len() < n_edges {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue; // no self loops
+        }
+        let da = rng.gen_range(1.0f64..100.0);
+        let db = rng.gen_range(1.0f64..100.0);
+        edges.push(JoinEdge::from_distincts(a, b, da, db));
+    }
+    JoinGraph::new(n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Components partition the relation set.
-    #[test]
-    fn components_partition_relations(g in arb_graph()) {
+/// Components partition the relation set.
+#[test]
+fn components_partition_relations() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0001 ^ case);
+        let g = arb_graph(&mut rng);
         let comps = g.components();
         let mut seen = vec![false; g.n_relations()];
         for comp in &comps {
-            prop_assert!(!comp.is_empty());
+            assert!(!comp.is_empty(), "case {case}: empty component");
             for r in comp {
-                prop_assert!(!seen[r.index()], "{r} in two components");
+                assert!(!seen[r.index()], "case {case}: {r} in two components");
                 seen[r.index()] = true;
             }
             // Sorted within a component.
-            prop_assert!(comp.windows(2).all(|w| w[0] < w[1]));
+            assert!(comp.windows(2).all(|w| w[0] < w[1]), "case {case}");
         }
-        prop_assert!(seen.into_iter().all(|s| s));
-        prop_assert_eq!(g.is_connected(), comps.len() <= 1);
+        assert!(seen.into_iter().all(|s| s), "case {case}: relation missed");
+        assert_eq!(g.is_connected(), comps.len() <= 1, "case {case}");
     }
+}
 
-    /// Degree equals the number of distinct neighbors, and neighborhood is
-    /// symmetric.
-    #[test]
-    fn degree_matches_neighbors(g in arb_graph()) {
+/// Degree equals the number of distinct neighbors, and neighborhood is
+/// symmetric.
+#[test]
+fn degree_matches_neighbors() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0002 ^ case);
+        let g = arb_graph(&mut rng);
         for r in 0..g.n_relations() {
             let r = RelId(r as u32);
             let neighbors = g.neighbors(r);
-            prop_assert_eq!(g.degree(r), neighbors.len());
+            assert_eq!(g.degree(r), neighbors.len(), "case {case}");
             for &o in &neighbors {
-                prop_assert!(g.neighbors(o).contains(&r), "asymmetric adjacency");
-                prop_assert!(g.joined(r, o) && g.joined(o, r));
+                assert!(
+                    g.neighbors(o).contains(&r),
+                    "case {case}: asymmetric adjacency"
+                );
+                assert!(g.joined(r, o) && g.joined(o, r), "case {case}");
             }
         }
     }
+}
 
-    /// Combined selectivity between a pair is symmetric and within (0, 1].
-    #[test]
-    fn selectivity_between_is_symmetric(g in arb_graph()) {
+/// Combined selectivity between a pair is symmetric and within (0, 1].
+#[test]
+fn selectivity_between_is_symmetric() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0003 ^ case);
+        let g = arb_graph(&mut rng);
         for a in 0..g.n_relations() {
             for b in 0..g.n_relations() {
                 let (a, b) = (RelId(a as u32), RelId(b as u32));
@@ -65,37 +86,44 @@ proptest! {
                 let ba = g.selectivity_between(b, a);
                 match (ab, ba) {
                     (Some(x), Some(y)) => {
-                        prop_assert!((x - y).abs() < 1e-15);
-                        prop_assert!(x > 0.0 && x <= 1.0);
+                        assert!((x - y).abs() < 1e-15, "case {case}");
+                        assert!(x > 0.0 && x <= 1.0, "case {case}");
                     }
                     (None, None) => {}
-                    _ => prop_assert!(false, "asymmetric selectivity_between"),
+                    _ => panic!("case {case}: asymmetric selectivity_between"),
                 }
             }
         }
     }
+}
 
-    /// A BFS spanning tree covers exactly the root's component, with
-    /// parent pointers that walk back to the root.
-    #[test]
-    fn bfs_tree_covers_component(g in arb_graph(), root_pick in any::<prop::sample::Index>()) {
+/// A BFS spanning tree covers exactly the root's component, with
+/// parent pointers that walk back to the root.
+#[test]
+fn bfs_tree_covers_component() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0004 ^ case);
+        let g = arb_graph(&mut rng);
         let comps = g.components();
-        let comp = &comps[root_pick.index(comps.len())];
+        let comp = &comps[rng.gen_range(0..comps.len())];
         let root = comp[0];
         let tree = g.bfs_spanning_tree(root);
-        prop_assert_eq!(tree.members.len(), comp.len());
+        assert_eq!(tree.members.len(), comp.len(), "case {case}");
         for &m in &tree.members {
-            prop_assert!(comp.contains(&m));
+            assert!(comp.contains(&m), "case {case}");
             // Walk to the root in at most n steps.
             let mut cur = m;
             let mut steps = 0;
             while let Some((p, e)) = tree.parent[cur.index()] {
-                prop_assert!(g.edge(e).touches(cur) && g.edge(e).touches(p));
+                assert!(
+                    g.edge(e).touches(cur) && g.edge(e).touches(p),
+                    "case {case}"
+                );
                 cur = p;
                 steps += 1;
-                prop_assert!(steps <= g.n_relations(), "parent cycle");
+                assert!(steps <= g.n_relations(), "case {case}: parent cycle");
             }
-            prop_assert_eq!(cur, root);
+            assert_eq!(cur, root, "case {case}");
         }
     }
 }

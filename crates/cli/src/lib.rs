@@ -25,42 +25,37 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use serde::{Deserialize, Serialize};
-
 use ljqo_catalog::{CatalogError, Query, QueryBuilder};
+use ljqo_json::Value;
 
 /// A relation in the input file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RelationSpec {
     /// Relation name; joins refer to it.
     pub name: String,
     /// Base cardinality.
     pub cardinality: u64,
     /// Selectivities of pushed-down selections (optional).
-    #[serde(default)]
     pub selections: Vec<f64>,
 }
 
 /// A join predicate in the input file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JoinSpec {
     /// Name of one side.
     pub left: String,
     /// Name of the other side.
     pub right: String,
     /// Explicit join selectivity (overrides distinct counts).
-    #[serde(default)]
     pub selectivity: Option<f64>,
     /// Distinct values in the left join column.
-    #[serde(default)]
     pub distinct_left: Option<f64>,
     /// Distinct values in the right join column.
-    #[serde(default)]
     pub distinct_right: Option<f64>,
 }
 
 /// The top-level query file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryFile {
     /// Relations, in id order.
     pub relations: Vec<RelationSpec>,
@@ -68,9 +63,11 @@ pub struct QueryFile {
     pub joins: Vec<JoinSpec>,
 }
 
-/// Errors turning a [`QueryFile`] into a [`Query`].
+/// Errors turning JSON text into a [`Query`].
 #[derive(Debug)]
 pub enum FileError {
+    /// The input is not well-formed JSON, or a field has the wrong shape.
+    Json(String),
     /// A join referenced an unknown relation name.
     UnknownRelation(String),
     /// A join carried neither a selectivity nor distinct counts.
@@ -82,6 +79,7 @@ pub enum FileError {
 impl std::fmt::Display for FileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            FileError::Json(msg) => write!(f, "invalid query JSON: {msg}"),
             FileError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
             FileError::UnderspecifiedJoin(l, r) => write!(
                 f,
@@ -94,10 +92,132 @@ impl std::fmt::Display for FileError {
 
 impl std::error::Error for FileError {}
 
+fn bad(msg: impl Into<String>) -> FileError {
+    FileError::Json(msg.into())
+}
+
+/// A number field, accepted only if it is a JSON number (not a string or
+/// null) — malformed statistics must fail parsing, not turn into NaN.
+fn number_field(v: &Value, key: &str, context: &str) -> Result<Option<f64>, FileError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(n) => n
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("{context}: field {key:?} must be a number"))),
+    }
+}
+
+fn string_field(v: &Value, key: &str, context: &str) -> Result<String, FileError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("{context}: missing string field {key:?}")))
+}
+
 impl QueryFile {
     /// Parse from JSON text.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<Self, FileError> {
+        let root = ljqo_json::parse(text).map_err(|e| bad(e.to_string()))?;
+        let relations = root
+            .get("relations")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("top level needs a \"relations\" array"))?;
+        let joins = root
+            .get("joins")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("top level needs a \"joins\" array"))?;
+
+        let relations = relations
+            .iter()
+            .enumerate()
+            .map(|(i, rel)| {
+                let context = format!("relation #{i}");
+                let name = string_field(rel, "name", &context)?;
+                let cardinality =
+                    rel.get("cardinality")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| {
+                            bad(format!(
+                                "{context}: \"cardinality\" must be a non-negative integer"
+                            ))
+                        })?;
+                let selections = match rel.get("selections") {
+                    None => Vec::new(),
+                    Some(s) => s
+                        .as_array()
+                        .ok_or_else(|| bad(format!("{context}: \"selections\" must be an array")))?
+                        .iter()
+                        .map(|sel| {
+                            sel.as_f64().ok_or_else(|| {
+                                bad(format!("{context}: selections must be numbers"))
+                            })
+                        })
+                        .collect::<Result<Vec<f64>, FileError>>()?,
+                };
+                Ok(RelationSpec {
+                    name,
+                    cardinality,
+                    selections,
+                })
+            })
+            .collect::<Result<Vec<_>, FileError>>()?;
+
+        let joins = joins
+            .iter()
+            .enumerate()
+            .map(|(i, join)| {
+                let context = format!("join #{i}");
+                Ok(JoinSpec {
+                    left: string_field(join, "left", &context)?,
+                    right: string_field(join, "right", &context)?,
+                    selectivity: number_field(join, "selectivity", &context)?,
+                    distinct_left: number_field(join, "distinct_left", &context)?,
+                    distinct_right: number_field(join, "distinct_right", &context)?,
+                })
+            })
+            .collect::<Result<Vec<_>, FileError>>()?;
+
+        Ok(QueryFile { relations, joins })
+    }
+
+    /// Render back to JSON (used by tests and tooling round-trips).
+    pub fn to_json(&self) -> Value {
+        let relations: Vec<Value> = self
+            .relations
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("name".to_string(), Value::from(r.name.as_str())),
+                    ("cardinality".to_string(), Value::from(r.cardinality)),
+                ];
+                if !r.selections.is_empty() {
+                    fields.push(("selections".to_string(), Value::from(r.selections.clone())));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        let joins: Vec<Value> = self
+            .joins
+            .iter()
+            .map(|j| {
+                let mut fields = vec![
+                    ("left".to_string(), Value::from(j.left.as_str())),
+                    ("right".to_string(), Value::from(j.right.as_str())),
+                ];
+                for (key, v) in [
+                    ("selectivity", j.selectivity),
+                    ("distinct_left", j.distinct_left),
+                    ("distinct_right", j.distinct_right),
+                ] {
+                    if let Some(v) = v {
+                        fields.push((key.to_string(), Value::from(v)));
+                    }
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        ljqo_json::json!({ "relations": relations, "joins": joins })
     }
 
     /// Convert into a validated [`Query`].
@@ -195,7 +315,7 @@ mod tests {
     #[test]
     fn roundtrips_through_json() {
         let file = QueryFile::from_json(SAMPLE).unwrap();
-        let json = serde_json::to_string(&file).unwrap();
+        let json = file.to_json().to_string_compact();
         let again = QueryFile::from_json(&json).unwrap();
         assert_eq!(
             again.into_query().unwrap(),

@@ -2,18 +2,42 @@
 //!
 //! ```text
 //! ljqo-opt QUERY.json [--method IAI] [--model memory|disk|multi]
-//!          [--tau 9] [--kappa 5] [--seed 0] [--json] [--all-methods]
+//!          [--tau 9] [--kappa 5] [--seed 0] [--deadline-ms N]
+//!          [--json] [--all-methods]
 //! ```
 //!
 //! With `--json` the plan is emitted as machine-readable JSON; otherwise
 //! an EXPLAIN-style tree is printed. `--all-methods` optimizes with all
-//! nine methods and prints a comparison table.
+//! nine methods and prints a comparison table. `--deadline-ms` bounds the
+//! wall-clock time of the search; when it (or a fault in the search)
+//! forces a fallback plan, the degradation is reported in the output.
+//!
+//! Exit codes distinguish the error classes so scripts can react:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | success (possibly with a degraded plan)   |
+//! | 2    | usage error                               |
+//! | 3    | input file could not be read              |
+//! | 4    | input is not valid query JSON             |
+//! | 5    | catalog statistics failed validation      |
+//! | 6    | optimizer could not produce any plan      |
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ljqo::prelude::*;
 use ljqo_cli::QueryFile;
 use ljqo_cost::MultiMethodCostModel;
+
+/// Exit code for unreadable input files.
+const EXIT_IO: u8 = 3;
+/// Exit code for malformed query JSON.
+const EXIT_JSON: u8 = 4;
+/// Exit code for catalogs that fail validation.
+const EXIT_CATALOG: u8 = 5;
+/// Exit code for total optimizer failure (no plan at all).
+const EXIT_OPTIMIZER: u8 = 6;
 
 struct Options {
     input: String,
@@ -22,6 +46,7 @@ struct Options {
     tau: f64,
     kappa: f64,
     seed: u64,
+    deadline_ms: Option<u64>,
     json: bool,
     all_methods: bool,
 }
@@ -30,7 +55,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ljqo-opt QUERY.json [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI]\n\
          \x20                       [--model memory|disk|multi] [--tau F] [--kappa F]\n\
-         \x20                       [--seed U64] [--json] [--all-methods]"
+         \x20                       [--seed U64] [--deadline-ms U64] [--json] [--all-methods]"
     );
     std::process::exit(2);
 }
@@ -43,6 +68,7 @@ fn parse_args() -> Options {
         tau: 9.0,
         kappa: 5.0,
         seed: 0,
+        deadline_ms: None,
         json: false,
         all_methods: false,
     };
@@ -66,6 +92,9 @@ fn parse_args() -> Options {
             "--tau" => opts.tau = value("--tau").parse().unwrap_or_else(|_| usage()),
             "--kappa" => opts.kappa = value("--kappa").parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()));
+            }
             "--json" => opts.json = true,
             "--all-methods" => opts.all_methods = true,
             "--help" | "-h" => usage(),
@@ -96,57 +125,80 @@ fn model_for(name: &str) -> Box<dyn CostModel> {
     }
 }
 
+fn exit_for(err: &OptError) -> ExitCode {
+    match err {
+        OptError::Catalog(_) => ExitCode::from(EXIT_CATALOG),
+        OptError::NoValidPlan { .. } => ExitCode::from(EXIT_OPTIMIZER),
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let text = match std::fs::read_to_string(&opts.input) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", opts.input);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
     };
     let file = match QueryFile::from_json(&text) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("error: invalid query JSON: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_JSON);
         }
     };
     let query = match file.into_query() {
         Ok(q) => q,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_CATALOG);
         }
     };
     let model = model_for(&opts.model);
 
     let config_for = |method: Method| {
-        OptimizerConfig::new(method)
+        let mut config = OptimizerConfig::new(method)
             .with_time_limit(opts.tau)
             .with_kappa(opts.kappa)
-            .with_seed(opts.seed)
+            .with_seed(opts.seed);
+        if let Some(ms) = opts.deadline_ms {
+            config = config.with_deadline(Duration::from_millis(ms));
+        }
+        config
     };
 
     if opts.all_methods {
         println!(
-            "{:>6} {:>16} {:>12} {:>10}",
-            "method", "cost", "evals", "units"
+            "{:>6} {:>16} {:>12} {:>10} {:>12}",
+            "method", "cost", "evals", "units", "degradation"
         );
         for method in Method::ALL {
-            let r = optimize(&query, model.as_ref(), &config_for(method));
-            println!(
-                "{:>6} {:>16.6e} {:>12} {:>10}",
-                method.name(),
-                r.cost,
-                r.n_evals,
-                r.units_used
-            );
+            match try_optimize(&query, model.as_ref(), &config_for(method)) {
+                Ok(r) => println!(
+                    "{:>6} {:>16.6e} {:>12} {:>10} {:>12}",
+                    method.name(),
+                    r.cost,
+                    r.n_evals,
+                    r.units_used,
+                    r.degradation.label()
+                ),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", method.name());
+                    return exit_for(&e);
+                }
+            }
         }
         return ExitCode::SUCCESS;
     }
 
-    let result = optimize(&query, model.as_ref(), &config_for(opts.method));
+    let result = match try_optimize(&query, model.as_ref(), &config_for(opts.method)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return exit_for(&e);
+        }
+    };
     if opts.json {
         let order: Vec<Vec<String>> = result
             .plan
@@ -159,15 +211,20 @@ fn main() -> ExitCode {
                     .collect()
             })
             .collect();
-        let out = serde_json::json!({
+        let segments: Vec<ljqo_json::Value> =
+            order.into_iter().map(ljqo_json::Value::from).collect();
+        let out = ljqo_json::json!({
             "method": opts.method.name(),
             "model": opts.model,
             "cost": result.cost,
-            "segments": order,
+            "segments": segments,
             "evaluations": result.n_evals,
             "budget_units": result.units_used,
+            "degradation": result.degradation.label(),
+            "degraded": result.degradation.is_degraded(),
+            "deadline_expired": result.deadline_expired,
         });
-        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        println!("{}", out.to_string_pretty());
     } else {
         println!(
             "method {} under the {} cost model (τ = {}N², κ = {})",
@@ -178,9 +235,19 @@ fn main() -> ExitCode {
         );
         println!("estimated cost: {:.6e}", result.cost);
         println!(
-            "search effort: {} evaluations / {} budget units\n",
+            "search effort: {} evaluations / {} budget units",
             result.n_evals, result.units_used
         );
+        if result.deadline_expired {
+            println!("notice: wall-clock deadline expired during the search");
+        }
+        if result.degradation.is_degraded() {
+            println!(
+                "notice: plan degraded to the {} fallback — treat its cost as a rough bound",
+                result.degradation.label()
+            );
+        }
+        println!();
         print!("{}", result.plan.to_tree().explain(&query));
     }
     ExitCode::SUCCESS

@@ -4,8 +4,7 @@ use ljqo::prelude::*;
 use ljqo_cli::QueryFile;
 
 fn sample_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../examples/data/sample_query.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/data/sample_query.json")
 }
 
 #[test]
@@ -26,7 +25,11 @@ fn sample_query_file_optimizes_under_all_models() {
         &disk as &dyn CostModel,
         &multi as &dyn CostModel,
     ] {
-        let r = optimize(&query, model, &OptimizerConfig::new(Method::Iai).with_seed(1));
+        let r = optimize(
+            &query,
+            model,
+            &OptimizerConfig::new(Method::Iai).with_seed(1),
+        );
         assert_eq!(r.plan.n_relations(), 6);
         assert!(r.cost.is_finite() && r.cost > 0.0, "{}", model.name());
     }
@@ -38,7 +41,11 @@ fn sample_methods_agree_on_ranking_direction() {
     let query = QueryFile::from_json(&text).unwrap().into_query().unwrap();
     let model = MemoryCostModel::default();
     // IAI at 9N² must not lose to a 0.3N² run of itself.
-    let long = optimize(&query, &model, &OptimizerConfig::new(Method::Iai).with_seed(2));
+    let long = optimize(
+        &query,
+        &model,
+        &OptimizerConfig::new(Method::Iai).with_seed(2),
+    );
     let short = optimize(
         &query,
         &model,

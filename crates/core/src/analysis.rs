@@ -52,7 +52,7 @@ pub fn sample_space<R: Rng + ?Sized>(
             model.order_cost(query, order.rels())
         })
         .collect();
-    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    costs.sort_by(f64::total_cmp);
     let min = costs[0];
     let max = *costs.last().unwrap();
     let mean = costs.iter().sum::<f64>() / n as f64;
@@ -78,8 +78,8 @@ pub fn is_swap_local_minimum(query: &Query, model: &dyn CostModel, order: &JoinO
     let mut probe = order.clone();
     for mv in Move::all_swaps(order.len()) {
         mv.apply(&mut probe);
-        let better =
-            is_valid(query.graph(), probe.rels()) && model.order_cost(query, probe.rels()) < current;
+        let better = is_valid(query.graph(), probe.rels())
+            && model.order_cost(query, probe.rels()) < current;
         mv.undo(&mut probe);
         if better {
             return false;
@@ -145,7 +145,7 @@ pub fn census_local_minima<R: Rng + ?Sized>(
         let mut order = random_valid_order(query.graph(), component, rng);
         minima.push(steepest_descent(query, model, &mut order));
     }
-    minima.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    minima.sort_by(f64::total_cmp);
     let best = minima[0];
     let mut distinct = 1;
     for w in minima.windows(2) {
@@ -165,8 +165,8 @@ pub fn census_local_minima<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ljqo_cost::MemoryCostModel;
     use ljqo_catalog::QueryBuilder;
+    use ljqo_cost::MemoryCostModel;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -5,15 +5,28 @@
 //! chosen method per component, and assembling the final [`Plan`] with
 //! cross products postponed to the end (the paper's heuristic for
 //! disconnected join graphs).
+//!
+//! The driver is hardened against misbehaving components: each method run
+//! is panic-isolated with `catch_unwind`, a wall-clock [`Deadline`] can
+//! cap the search regardless of the unit budget, and when a component's
+//! method yields nothing the driver walks a fallback ladder (augmentation
+//! heuristic, then a random valid order) so a valid plan is returned
+//! whenever one exists — flagged with the [`Degradation`] level reached.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use ljqo_catalog::Query;
+use ljqo_catalog::{Query, RelId};
 use ljqo_cost::estimate::{clamp_card, final_result_size};
-use ljqo_cost::{CostModel, Evaluator, JoinCtx, TimeLimit};
-use ljqo_plan::{JoinOrder, Plan};
+use ljqo_cost::{sanitize_cost, CostModel, Deadline, Evaluator, JoinCtx, TimeLimit};
+use ljqo_heuristics::AugmentationHeuristic;
+use ljqo_plan::validity::is_valid;
+use ljqo_plan::{random_valid_order, JoinOrder, Plan};
 
+use crate::error::{Degradation, OptError};
 use crate::methods::{Method, MethodRunner};
 
 /// Configuration for [`optimize`].
@@ -32,6 +45,11 @@ pub struct OptimizerConfig {
     /// §3: stop "when we are sufficiently close to the lower bound").
     /// `None` disables early stopping. `Some(0.1)` stops within 10%.
     pub early_stop: Option<f64>,
+    /// Optional wall-clock deadline composing with the unit budget: the
+    /// search stops at whichever bound trips first. Unlike the unit
+    /// budget, a deadline makes runs machine-dependent; it exists so a
+    /// caller with a latency envelope always gets *a* plan back.
+    pub deadline: Option<Deadline>,
     /// Method parameters.
     pub runner: MethodRunner,
 }
@@ -46,6 +64,7 @@ impl OptimizerConfig {
             kappa: 5.0,
             seed: 0,
             early_stop: None,
+            deadline: None,
             runner: MethodRunner::default(),
         }
     }
@@ -77,6 +96,13 @@ impl OptimizerConfig {
         self.early_stop = Some(epsilon);
         self
     }
+
+    /// Cap the whole optimization at a wall-clock duration from now.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Deadline::after(budget));
+        self
+    }
 }
 
 /// The outcome of [`optimize`].
@@ -91,6 +117,129 @@ pub struct Optimized {
     pub units_used: u64,
     /// Full plan evaluations performed.
     pub n_evals: u64,
+    /// Deepest fallback rung reached across components
+    /// ([`Degradation::None`] when every component was planned by the
+    /// configured method).
+    pub degradation: Degradation,
+    /// Whether the wall-clock deadline expired during the search.
+    pub deadline_expired: bool,
+}
+
+/// What planning one component produced, and how.
+struct ComponentOutcome {
+    best: Option<(JoinOrder, f64)>,
+    units_used: u64,
+    n_evals: u64,
+    deadline_expired: bool,
+    degradation: Degradation,
+}
+
+/// Plan one join-graph component down the fallback ladder:
+///
+/// 1. the configured method, panic-isolated, under budget + deadline;
+/// 2. the augmentation heuristic (cheap, deterministic), panic-isolated;
+/// 3. a random valid order — valid by construction, costed on a
+///    best-effort basis (a panicking model yields cost `f64::MAX`).
+///
+/// Returns `best: None` only if all three rungs fail.
+fn plan_component(
+    query: &Query,
+    model: &dyn CostModel,
+    config: &OptimizerConfig,
+    comp: &[RelId],
+    budget: u64,
+    rng: &mut SmallRng,
+) -> ComponentOutcome {
+    let mut outcome = ComponentOutcome {
+        best: None,
+        units_used: 0,
+        n_evals: 0,
+        deadline_expired: false,
+        degradation: Degradation::None,
+    };
+
+    // Rung 1: the configured combinatorial method. `AssertUnwindSafe` is
+    // justified: on panic the evaluator and its walker are discarded, and
+    // the RNG holds plain integers whose state is usable regardless of
+    // where the method stopped.
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut ev = Evaluator::with_budget(query, model, budget);
+        if let Some(deadline) = config.deadline {
+            ev.set_deadline(deadline);
+        }
+        if let Some(eps) = config.early_stop {
+            let lb = model.lower_bound(query, comp);
+            if lb > 0.0 {
+                ev.set_stop_threshold(lb * (1.0 + eps));
+            }
+        }
+        config.runner.run(config.method, &mut ev, comp, rng);
+        let best = ev.best().map(|(o, c)| (o.clone(), c));
+        (best, ev.used(), ev.n_evals(), ev.deadline_expired())
+    }));
+    match attempt {
+        Ok((best, used, evals, deadline_hit)) => {
+            outcome.units_used = used;
+            outcome.n_evals = evals;
+            outcome.deadline_expired = deadline_hit;
+            if let Some((order, cost)) = best {
+                if is_valid(query.graph(), order.rels()) {
+                    outcome.best = Some((order, cost));
+                    return outcome;
+                }
+            }
+        }
+        Err(_) => {
+            // The method (or the cost model under it) panicked; its
+            // evaluator died with it, so its spend is unknown and
+            // reported as zero.
+        }
+    }
+
+    // Rung 2: the augmentation heuristic. Panic-isolated too — it reads
+    // the same catalog statistics that may have upset the method.
+    outcome.degradation = Degradation::Heuristic;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let first = AugmentationHeuristic::first_relations(query, comp)[0];
+        let order = config.runner.augmentation.generate(query, comp, first);
+        let cost = sanitize_cost(model.order_cost(query, order.rels()));
+        (order, cost)
+    }));
+    if let Ok((order, cost)) = attempt {
+        if is_valid(query.graph(), order.rels()) {
+            outcome.units_used += comp.len() as u64 + 1;
+            outcome.n_evals += 1;
+            outcome.best = Some((order, cost));
+            return outcome;
+        }
+    }
+
+    // Rung 3: a random valid order. Valid by construction from the join
+    // graph alone; if even costing it panics, it ships with cost MAX.
+    outcome.degradation = Degradation::RandomOrder;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        random_valid_order(query.graph(), comp, rng)
+    }));
+    if let Ok(order) = attempt {
+        if is_valid(query.graph(), order.rels()) {
+            let cost = catch_unwind(AssertUnwindSafe(|| {
+                sanitize_cost(model.order_cost(query, order.rels()))
+            }))
+            .unwrap_or(f64::MAX);
+            outcome.units_used += 1;
+            outcome.n_evals += 1;
+            outcome.best = Some((order, cost));
+        }
+    }
+    outcome
+}
+
+/// Optimize `query` under `model` with the given configuration,
+/// panicking if no plan can be produced at all. Thin wrapper over
+/// [`try_optimize`] kept for callers that treat total failure as a bug
+/// (tests, benchmarks); services should prefer [`try_optimize`].
+pub fn optimize(query: &Query, model: &dyn CostModel, config: &OptimizerConfig) -> Optimized {
+    try_optimize(query, model, config).unwrap_or_else(|e| panic!("optimization failed: {e}"))
 }
 
 /// Optimize `query` under `model` with the given configuration.
@@ -99,7 +248,21 @@ pub struct Optimized {
 /// proportion to the square of their sizes (each component's search space
 /// scales with its own `N²`), with a floor so every component can at least
 /// evaluate a couple of states. Singleton components cost nothing to plan.
-pub fn optimize(query: &Query, model: &dyn CostModel, config: &OptimizerConfig) -> Optimized {
+///
+/// Robustness: the catalog is revalidated up front (a [`CatalogError`]
+/// becomes [`OptError::Catalog`]); each component's method runs
+/// panic-isolated under the unit budget and the optional wall-clock
+/// deadline, degrading per component to the augmentation heuristic and
+/// then to a random valid order (see [`Degradation`]). An `Err` is
+/// returned only when some component defeats every rung.
+///
+/// [`CatalogError`]: ljqo_catalog::CatalogError
+pub fn try_optimize(
+    query: &Query,
+    model: &dyn CostModel,
+    config: &OptimizerConfig,
+) -> Result<Optimized, OptError> {
+    query.validate()?;
     let components = query.graph().components();
     let n = query.n_joins().max(1);
     let total_budget = config.time_limit.units(n, config.kappa);
@@ -114,27 +277,20 @@ pub fn optimize(query: &Query, model: &dyn CostModel, config: &OptimizerConfig) 
     let mut segments: Vec<(JoinOrder, f64)> = Vec::with_capacity(components.len());
     let mut units_used = 0;
     let mut n_evals = 0;
-    for comp in &components {
+    let mut degradation = Degradation::None;
+    let mut deadline_expired = false;
+    for (idx, comp) in components.iter().enumerate() {
         let share = total_budget.saturating_mul((comp.len() * comp.len()) as u64) / weight_sum;
         let budget = share.max(4 * comp.len() as u64);
-        let mut ev = Evaluator::with_budget(query, model, budget);
-        if let Some(eps) = config.early_stop {
-            let lb = model.lower_bound(query, comp);
-            if lb > 0.0 {
-                ev.set_stop_threshold(lb * (1.0 + eps));
-            }
-        }
-        config
-            .runner
-            .run(config.method, &mut ev, comp, &mut rng);
-        if ev.best().is_none() {
-            // Guaranteed fallback so a plan always exists.
-            config.runner.seed_random(&mut ev, comp, &mut rng);
-        }
-        units_used += ev.used();
-        n_evals += ev.n_evals();
-        let (order, cost) = ev.best().expect("fallback seeded a state");
-        segments.push((order.clone(), cost));
+        let outcome = plan_component(query, model, config, comp, budget, &mut rng);
+        units_used += outcome.units_used;
+        n_evals += outcome.n_evals;
+        degradation = degradation.max(outcome.degradation);
+        deadline_expired |= outcome.deadline_expired;
+        let Some((order, cost)) = outcome.best else {
+            return Err(OptError::NoValidPlan { component: idx });
+        };
+        segments.push((order, cost));
     }
 
     // Cross products last, smallest component results first so the running
@@ -142,32 +298,42 @@ pub fn optimize(query: &Query, model: &dyn CostModel, config: &OptimizerConfig) 
     segments.sort_by(|a, b| {
         let sa = final_result_size(query, a.0.rels());
         let sb = final_result_size(query, b.0.rels());
-        sa.partial_cmp(&sb).unwrap()
+        sa.total_cmp(&sb)
     });
 
-    let mut total_cost: f64 = segments.iter().map(|&(_, c)| c).sum();
-    let mut running = final_result_size(query, segments[0].0.rels());
-    for (order, _) in segments.iter().skip(1) {
-        let inner = final_result_size(query, order.rels());
-        let output = clamp_card(running * inner);
-        total_cost += model.join_cost(&JoinCtx {
-            outer_card: running,
-            inner_card: inner,
-            output_card: output,
-            outer_rels: order.len(),
-            is_cross_product: true,
-        });
-        running = output;
-    }
+    // Total cost including the cross products between segments. The model
+    // is consulted once more here, so this is panic-isolated as well: a
+    // plan whose segments were rescued by the ladder must not be lost to
+    // one last model fault while pricing the cross products.
+    let total_cost = catch_unwind(AssertUnwindSafe(|| {
+        let mut total: f64 = segments.iter().map(|&(_, c)| c).sum();
+        let mut running = final_result_size(query, segments[0].0.rels());
+        for (order, _) in segments.iter().skip(1) {
+            let inner = final_result_size(query, order.rels());
+            let output = clamp_card(running * inner);
+            total += model.join_cost(&JoinCtx {
+                outer_card: running,
+                inner_card: inner,
+                output_card: output,
+                outer_rels: order.len(),
+                is_cross_product: true,
+            });
+            running = output;
+        }
+        sanitize_cost(total)
+    }))
+    .unwrap_or(f64::MAX);
 
-    Optimized {
+    Ok(Optimized {
         plan: Plan {
             segments: segments.into_iter().map(|(o, _)| o).collect(),
         },
         cost: total_cost,
         units_used,
         n_evals,
-    }
+        degradation,
+        deadline_expired,
+    })
 }
 
 #[cfg(test)]

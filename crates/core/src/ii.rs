@@ -83,12 +83,7 @@ impl IterativeImprovement {
     /// The full II method: repeated descents from random valid start
     /// states until the budget is exhausted. The best local minimum is
     /// tracked by the evaluator.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        ev: &mut Evaluator<'_>,
-        component: &[RelId],
-        rng: &mut R,
-    ) {
+    pub fn run<R: Rng + ?Sized>(&self, ev: &mut Evaluator<'_>, component: &[RelId], rng: &mut R) {
         let mut gen = MoveGenerator::new(ev.query().n_relations(), self.move_set);
         while !ev.exhausted() {
             let mut order = random_valid_order(ev.query().graph(), component, rng);

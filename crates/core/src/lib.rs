@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod bushy;
 pub mod dp;
 mod driver;
+mod error;
 pub mod eval;
 mod ii;
 mod methods;
@@ -66,7 +67,8 @@ mod sa;
 mod sampling;
 pub mod trace;
 
-pub use driver::{optimize, Optimized, OptimizerConfig};
+pub use driver::{optimize, try_optimize, Optimized, OptimizerConfig};
+pub use error::{Degradation, OptError};
 pub use ii::IterativeImprovement;
 pub use methods::{Method, MethodRunner};
 pub use sa::SimulatedAnnealing;

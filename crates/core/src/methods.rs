@@ -131,9 +131,7 @@ impl MethodRunner {
                 // One augmentation state (smallest first relation) seeds SA.
                 let firsts = AugmentationHeuristic::first_relations(ev.query(), component);
                 ev.charge(component.len() as u64);
-                let start = self
-                    .augmentation
-                    .generate(ev.query(), component, firsts[0]);
+                let start = self.augmentation.generate(ev.query(), component, firsts[0]);
                 self.sa.anneal(ev, start, rng);
             }
             Method::Sak => {
@@ -179,7 +177,9 @@ impl MethodRunner {
                 // Local improvement on the best of the local minima, with
                 // the ladder strategy the remaining budget affords.
                 while !ev.exhausted() {
-                    let Some((best, best_cost)) = ev.best() else { break };
+                    let Some((best, best_cost)) = ev.best() else {
+                        break;
+                    };
                     let Some(strategy) =
                         LocalImprovement::best_for_budget(component.len(), ev.remaining())
                     else {
@@ -317,7 +317,10 @@ mod tests {
         let mut ev = Evaluator::with_budget(&q, &model, 10_000);
         let mut rng = SmallRng::seed_from_u64(5);
         runner.run(Method::Iai, &mut ev, &comp, &mut rng);
-        assert!(ev.best_cost() <= seed_best, "IAI must not lose to its seeds");
+        assert!(
+            ev.best_cost() <= seed_best,
+            "IAI must not lose to its seeds"
+        );
     }
 
     #[test]

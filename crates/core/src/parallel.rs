@@ -28,15 +28,23 @@ pub struct ParallelResult {
     pub units_used: u64,
     /// Total evaluations across workers.
     pub n_evals: u64,
+    /// Workers that died (panicked) before reporting a result. The run
+    /// degrades to the survivors' best rather than propagating the panic.
+    pub workers_failed: usize,
 }
 
 /// Run `method` with `workers` independent deterministic searches over
 /// `component`, splitting `budget` evenly, and return the best result.
 ///
 /// Deterministic in `(seed, workers)`: worker `i` uses seed
-/// `seed ⊕ splitmix(i)`, so results do not depend on scheduling. Returns
-/// `None` only if every worker produced no state (budget smaller than
-/// one evaluation per worker).
+/// `seed ⊕ splitmix(i)`, so results do not depend on scheduling.
+///
+/// Workers are panic-isolated: a worker that panics (a buggy cost model,
+/// poisoned statistics) is counted in
+/// [`ParallelResult::workers_failed`] and the best state among the
+/// survivors is returned. Returns `None` only if no worker produced a
+/// state — every worker panicked, or the budget is smaller than one
+/// evaluation per worker.
 #[allow(clippy::too_many_arguments)] // mirrors the sequential run signature plus (budget, workers)
 pub fn run_parallel(
     query: &Query,
@@ -52,7 +60,7 @@ pub fn run_parallel(
     let share = (budget / workers as u64).max(1);
 
     type WorkerOutcome = (Option<(JoinOrder, f64)>, u64, u64);
-    let results: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+    let results: Vec<Option<WorkerOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
@@ -68,23 +76,26 @@ pub fn run_parallel(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        // A panicked worker surfaces as `Err` from `join`; swallowing it
+        // here (rather than propagating) is the isolation boundary. Its
+        // partial spend dies with its evaluator and is reported as zero.
+        handles.into_iter().map(|h| h.join().ok()).collect()
     });
 
-    let units_used = results.iter().map(|r| r.1).sum();
-    let n_evals = results.iter().map(|r| r.2).sum();
-    let (order, cost) = results
+    let workers_failed = results.iter().filter(|r| r.is_none()).count();
+    let survivors: Vec<WorkerOutcome> = results.into_iter().flatten().collect();
+    let units_used = survivors.iter().map(|r| r.1).sum();
+    let n_evals = survivors.iter().map(|r| r.2).sum();
+    let (order, cost) = survivors
         .into_iter()
         .filter_map(|(best, _, _)| best)
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        .min_by(|a, b| a.1.total_cmp(&b.1))?;
     Some(ParallelResult {
         order,
         cost,
         units_used,
         n_evals,
+        workers_failed,
     })
 }
 

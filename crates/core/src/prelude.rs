@@ -7,14 +7,14 @@
 pub use crate::bushy::{optimal_bushy_dp, BushyTree};
 pub use crate::dp::{optimal_order_dp, optimal_order_exhaustive};
 pub use crate::eval::{mean_scaled_cost, per_query_best, scaled_cost, OUTLIER_CAP};
-pub use crate::{optimize, Optimized, OptimizerConfig};
 pub use crate::parallel::{run_parallel, ParallelResult};
 pub use crate::trace::{trace_run, Trace, TracePoint};
+pub use crate::{optimize, try_optimize, Degradation, OptError, Optimized, OptimizerConfig};
 pub use crate::{IterativeImprovement, Method, MethodRunner, RandomSampling, SimulatedAnnealing};
 
-pub use ljqo_catalog::{JoinEdge, JoinGraph, Query, QueryBuilder, RelId, Relation};
+pub use ljqo_catalog::{CatalogError, JoinEdge, JoinGraph, Query, QueryBuilder, RelId, Relation};
 pub use ljqo_cost::{
-    CostModel, DiskCostModel, Evaluator, JoinCtx, MemoryCostModel, TimeLimit,
+    CostModel, Deadline, DiskCostModel, Evaluator, JoinCtx, MemoryCostModel, TimeLimit,
 };
 pub use ljqo_heuristics::{
     AugmentationCriterion, AugmentationHeuristic, KbzHeuristic, LocalImprovement, MstWeight,

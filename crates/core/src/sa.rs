@@ -101,12 +101,7 @@ impl SimulatedAnnealing {
     /// Run annealing from `start` until frozen (and out of restarts) or the
     /// budget is exhausted. The best visited state is tracked by the
     /// evaluator.
-    pub fn anneal<R: Rng + ?Sized>(
-        &self,
-        ev: &mut Evaluator<'_>,
-        start: JoinOrder,
-        rng: &mut R,
-    ) {
+    pub fn anneal<R: Rng + ?Sized>(&self, ev: &mut Evaluator<'_>, start: JoinOrder, rng: &mut R) {
         let n = start.len();
         if n < 2 {
             ev.cost(&start);
@@ -168,12 +163,7 @@ impl SimulatedAnnealing {
     }
 
     /// The plain SA method: anneal from a random valid start state.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        ev: &mut Evaluator<'_>,
-        component: &[RelId],
-        rng: &mut R,
-    ) {
+    pub fn run<R: Rng + ?Sized>(&self, ev: &mut Evaluator<'_>, component: &[RelId], rng: &mut R) {
         let start = random_valid_order(ev.query().graph(), component, rng);
         self.anneal(ev, start, rng);
     }

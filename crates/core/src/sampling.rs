@@ -20,12 +20,7 @@ pub struct RandomSampling;
 impl RandomSampling {
     /// Draw and evaluate random valid states until the budget runs out.
     /// The best state is tracked by the evaluator.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        ev: &mut Evaluator<'_>,
-        component: &[RelId],
-        rng: &mut R,
-    ) {
+    pub fn run<R: Rng + ?Sized>(&self, ev: &mut Evaluator<'_>, component: &[RelId], rng: &mut R) {
         while !ev.exhausted() {
             let order = random_valid_order(ev.query().graph(), component, rng);
             ev.cost(&order);
@@ -105,7 +100,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 8, "II beat random sampling on only {wins}/{trials} trials");
+        assert!(
+            wins >= 8,
+            "II beat random sampling on only {wins}/{trials} trials"
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 use ljqo_catalog::Query;
 use ljqo_cost::{CostModel, Evaluator, TimeLimit};
@@ -17,7 +16,7 @@ use ljqo_cost::{CostModel, Evaluator, TimeLimit};
 use crate::methods::{Method, MethodRunner};
 
 /// One point of a search trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Budget units consumed.
     pub units: u64,
@@ -26,7 +25,7 @@ pub struct TracePoint {
 }
 
 /// A full trajectory of one method on one query.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// The method traced.
     pub method: String,
@@ -136,7 +135,10 @@ mod tests {
             .points
             .windows(2)
             .all(|w| w[1].best_cost <= w[0].best_cost));
-        assert_eq!(t.points.last().unwrap().best_cost.min(t.final_cost), t.final_cost);
+        assert_eq!(
+            t.points.last().unwrap().best_cost.min(t.final_cost),
+            t.final_cost
+        );
         assert!(t.points.windows(2).all(|w| w[0].units < w[1].units));
     }
 

@@ -1,0 +1,93 @@
+//! Wall-clock deadlines composing with the deterministic unit budget.
+//!
+//! The paper's time limits are expressed in machine-independent budget
+//! units (`τ·N²·κ`, see [`crate::TimeLimit`]), which keeps experiments
+//! reproducible. A production optimizer additionally needs a hard
+//! wall-clock bound: no matter how the calibration constant `κ` relates
+//! to the actual hardware, the driver must hand back *a* plan within the
+//! caller's latency envelope. [`Deadline`] provides that bound; the
+//! [`crate::Evaluator`] polls it at an amortized interval so the hot
+//! evaluation loop does not pay for a clock read per plan.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline. Cheap to copy; `None` internally means "never
+/// expires" (used when a requested duration overflows `Instant`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `d` from now. Durations too large to represent never
+    /// expire.
+    pub fn after(d: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(d),
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// A deadline that has already expired (useful in tests and for
+    /// "plan with whatever you have" requests).
+    pub fn immediate() -> Self {
+        Deadline {
+            at: Some(Instant::now()),
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn never() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Whether the deadline has passed. Reads the clock.
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry (zero once expired, `None` if the deadline
+    /// never expires).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_deadline_is_expired() {
+        assert!(Deadline::immediate().expired());
+        assert_eq!(Deadline::immediate().remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn far_deadline_is_not_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn never_deadline_does_not_expire() {
+        let d = Deadline::never();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn overflowing_duration_never_expires() {
+        let d = Deadline::after(Duration::MAX);
+        assert!(!d.expired());
+    }
+}

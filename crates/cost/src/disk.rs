@@ -1,7 +1,6 @@
 //! Disk-based hash-join cost model (after Bratbergsengen \[Bra84\]).
 
 use ljqo_catalog::{Query, RelId};
-use serde::{Deserialize, Serialize};
 
 use crate::model::{bound_ingredients, CostModel, JoinCtx};
 
@@ -17,7 +16,7 @@ use crate::model::{bound_ingredients, CostModel, JoinCtx};
 /// page I/O costing `io_weight` and one tuple of CPU work costing
 /// `cpu_weight`, so that the two models in this crate are on comparable
 /// scales.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskCostModel {
     /// Bytes per page.
     pub page_bytes: f64,
@@ -108,8 +107,7 @@ impl CostModel for DiskCostModel {
         let (final_size, cards) = bound_ingredients(query, component);
         let read_sum: f64 = cards.iter().map(|&c| self.pages(c)).sum();
         let read_max = cards.iter().map(|&c| self.pages(c)).fold(0.0, f64::max);
-        self.io_weight
-            * ((read_sum - read_max) + self.pages_wide(final_size, component.len()))
+        self.io_weight * ((read_sum - read_max) + self.pages_wide(final_size, component.len()))
     }
 }
 

@@ -3,8 +3,16 @@
 use ljqo_catalog::{Query, RelId};
 use ljqo_plan::JoinOrder;
 
+use crate::deadline::Deadline;
 use crate::estimate::SizeWalker;
 use crate::model::CostModel;
+use crate::sanitize_cost;
+
+/// How many budget units may elapse between wall-clock reads when a
+/// [`Deadline`] is installed. Amortizes the cost of `Instant::now()` over
+/// the hot evaluation loop; one unit is an `O(N)` operation, so the
+/// deadline is noticed within `O(64·N)` elementary steps.
+const DEADLINE_POLL_UNITS: u64 = 64;
 
 /// Best-so-far cost recorded when the budget crossed a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +52,13 @@ pub struct Evaluator<'a> {
     /// obtains a solution whose cost is sufficiently close to a lower
     /// bound on the cost of the optimal solution").
     stop_threshold: f64,
+    /// Optional wall-clock deadline, polled every [`DEADLINE_POLL_UNITS`]
+    /// charged units.
+    deadline: Option<Deadline>,
+    /// Latched result of the last deadline poll; once true, stays true.
+    deadline_hit: bool,
+    /// Units charged since the last deadline poll.
+    units_since_poll: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -67,7 +82,29 @@ impl<'a> Evaluator<'a> {
             next_checkpoint: 0,
             snapshots: Vec::new(),
             stop_threshold: -1.0,
+            deadline: None,
+            deadline_hit: false,
+            // Start at the poll interval so the very first charge reads
+            // the clock — an already-expired deadline trips immediately.
+            units_since_poll: DEADLINE_POLL_UNITS,
         }
+    }
+
+    /// Install a wall-clock deadline composing with the unit budget:
+    /// [`Evaluator::exhausted`] reports true as soon as *either* the
+    /// budget runs out or the deadline passes. The clock is polled at an
+    /// amortized interval, so expiry is noticed within
+    /// [`DEADLINE_POLL_UNITS`] charged units.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = Some(deadline);
+        self.deadline_hit = deadline.expired();
+        self.units_since_poll = 0;
+    }
+
+    /// Whether an installed deadline has been observed as expired.
+    #[inline]
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline_hit
     }
 
     /// Install an early-stopping threshold, typically derived from the
@@ -99,12 +136,16 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate the cost of `order`, charging one budget unit and updating
-    /// the best-so-far state.
+    /// the best-so-far state. Non-finite model outputs are saturated to
+    /// [`f64::MAX`] (see [`sanitize_cost`]) so a faulty model cannot
+    /// poison best-tracking or the methods' acceptance decisions.
     pub fn cost(&mut self, order: &JoinOrder) -> f64 {
         self.charge(1);
-        let c = self
-            .model
-            .order_cost_with(self.query, order.rels(), &mut self.walker);
+        let c = sanitize_cost(self.model.order_cost_with(
+            self.query,
+            order.rels(),
+            &mut self.walker,
+        ));
         self.n_evals += 1;
         if c < self.best_cost {
             self.best_cost = c;
@@ -116,7 +157,10 @@ impl<'a> Evaluator<'a> {
     /// Evaluate a raw relation slice (used by heuristics mid-construction).
     pub fn cost_slice(&mut self, rels: &[RelId]) -> f64 {
         self.charge(1);
-        let c = self.model.order_cost_with(self.query, rels, &mut self.walker);
+        let c = sanitize_cost(
+            self.model
+                .order_cost_with(self.query, rels, &mut self.walker),
+        );
         self.n_evals += 1;
         if c < self.best_cost {
             self.best_cost = c;
@@ -128,8 +172,10 @@ impl<'a> Evaluator<'a> {
     /// Evaluate without charging budget or updating best-so-far. For
     /// analysis and tests only — optimizers must use [`Evaluator::cost`].
     pub fn cost_uncharged(&mut self, order: &JoinOrder) -> f64 {
-        self.model
-            .order_cost_with(self.query, order.rels(), &mut self.walker)
+        sanitize_cost(
+            self.model
+                .order_cost_with(self.query, order.rels(), &mut self.walker),
+        )
     }
 
     /// Consume `units` of budget (heuristics use this to pay for their own
@@ -146,13 +192,23 @@ impl<'a> Evaluator<'a> {
             self.next_checkpoint += 1;
         }
         self.used = self.used.saturating_add(units);
+        if let Some(deadline) = self.deadline {
+            if !self.deadline_hit {
+                self.units_since_poll = self.units_since_poll.saturating_add(units);
+                if self.units_since_poll >= DEADLINE_POLL_UNITS {
+                    self.units_since_poll = 0;
+                    self.deadline_hit = deadline.expired();
+                }
+            }
+        }
     }
 
-    /// Whether the method should stop: the budget is exhausted, or the
-    /// best solution has reached the early-stopping threshold.
+    /// Whether the method should stop: the budget is exhausted, the best
+    /// solution has reached the early-stopping threshold, or the
+    /// wall-clock deadline has passed.
     #[inline]
     pub fn exhausted(&self) -> bool {
-        self.used >= self.limit || self.best_cost <= self.stop_threshold
+        self.used >= self.limit || self.best_cost <= self.stop_threshold || self.deadline_hit
     }
 
     /// Budget units consumed so far.
@@ -298,6 +354,71 @@ mod tests {
         let mut ev2 = Evaluator::with_budget(&query, &model, 10);
         ev2.set_stop_threshold(1e18);
         assert!(!ev2.exhausted());
+    }
+
+    #[test]
+    fn expired_deadline_trips_exhausted() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, u64::MAX);
+        ev.set_deadline(crate::Deadline::immediate());
+        assert!(ev.deadline_expired());
+        assert!(ev.exhausted());
+        // The budget side reports plenty remaining; only the clock is up.
+        assert!(ev.remaining() > 0);
+    }
+
+    #[test]
+    fn future_deadline_does_not_interfere() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, 2);
+        ev.set_deadline(crate::Deadline::after(std::time::Duration::from_secs(3600)));
+        ev.cost(&order(&[0, 1, 2]));
+        assert!(!ev.deadline_expired());
+        assert!(!ev.exhausted());
+        ev.cost(&order(&[2, 1, 0]));
+        // Budget exhaustion still applies on its own.
+        assert!(ev.exhausted());
+        assert!(!ev.deadline_expired());
+    }
+
+    #[test]
+    fn deadline_is_noticed_within_poll_interval() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&query, &model, u64::MAX);
+        ev.set_deadline(crate::Deadline::after(std::time::Duration::from_millis(5)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let o = order(&[0, 1, 2]);
+        let mut evals = 0u64;
+        while !ev.exhausted() {
+            ev.cost(&o);
+            evals += 1;
+            assert!(
+                evals <= super::DEADLINE_POLL_UNITS + 1,
+                "deadline never noticed"
+            );
+        }
+        assert!(ev.deadline_expired());
+        // A best state gathered before expiry is still available.
+        assert!(ev.best().is_some());
+    }
+
+    #[test]
+    fn nan_costs_are_saturated_not_propagated() {
+        use crate::fault::{FaultMode, FaultyCostModel};
+        let query = q();
+        let model = FaultyCostModel::new(MemoryCostModel::default(), FaultMode::NanOnKth(1));
+        let mut ev = Evaluator::new(&query, &model);
+        let c1 = ev.cost(&order(&[0, 1, 2]));
+        assert_eq!(c1, f64::MAX, "NaN from the model must saturate");
+        // The saturated evaluation still counts as a (terrible) best state,
+        // so an all-faulty run degrades instead of returning nothing.
+        assert_eq!(ev.best().map(|(_, c)| c), Some(f64::MAX));
+        let c2 = ev.cost(&order(&[2, 1, 0]));
+        assert!(c2.is_finite() && c2 < f64::MAX);
+        assert_eq!(ev.best().map(|(_, c)| c), Some(c2));
     }
 
     #[test]

@@ -27,16 +27,20 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod deadline;
 mod disk;
 pub mod estimate;
 mod evaluator;
+mod fault;
 mod memory;
 mod model;
 mod multi;
 pub mod propagate;
 
+pub use deadline::Deadline;
 pub use disk::DiskCostModel;
 pub use evaluator::{Evaluator, Snapshot};
+pub use fault::{FaultMode, FaultyCostModel};
 pub use memory::MemoryCostModel;
 pub use model::{CostModel, JoinCtx};
 pub use multi::{JoinMethod, MultiMethodCostModel};
@@ -46,6 +50,24 @@ pub use multi::{JoinMethod, MultiMethodCostModel};
 /// remain total. Any plan that reaches the clamp is astronomically bad and
 /// will never survive optimization.
 pub const CARD_CLAMP: f64 = 1e120;
+
+/// Saturate a cost to a finite value: `NaN` and `±∞` become [`f64::MAX`].
+///
+/// Cost models are treated as untrusted components — stale statistics or a
+/// buggy model can emit non-finite costs, and `NaN` in particular breaks
+/// best-so-far tracking (`c < best` is false for every `NaN`) and the
+/// methods' accept/reject comparisons. The [`Evaluator`] applies this to
+/// every model output, so optimizer code downstream only ever sees finite
+/// costs; a saturated plan is simply astronomically bad and loses every
+/// comparison it should lose.
+#[inline]
+pub fn sanitize_cost(c: f64) -> f64 {
+    if c.is_finite() {
+        c
+    } else {
+        f64::MAX
+    }
+}
 
 /// Time limits proportional to `N²`, as used throughout the paper
 /// ("`1.5N²`", "`9N²`", ...).
@@ -84,5 +106,15 @@ mod tests {
     fn time_limit_units_floor_at_one() {
         let t = TimeLimit::of(1e-9);
         assert_eq!(t.units(10, 20.0), 1);
+    }
+
+    #[test]
+    fn sanitize_cost_saturates_non_finite() {
+        assert_eq!(sanitize_cost(f64::NAN), f64::MAX);
+        assert_eq!(sanitize_cost(f64::INFINITY), f64::MAX);
+        assert_eq!(sanitize_cost(f64::NEG_INFINITY), f64::MAX);
+        assert_eq!(sanitize_cost(42.0), 42.0);
+        assert_eq!(sanitize_cost(0.0), 0.0);
+        assert_eq!(sanitize_cost(f64::MAX), f64::MAX);
     }
 }

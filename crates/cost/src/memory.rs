@@ -1,7 +1,6 @@
 //! Main-memory hash-join cost model (after Swami \[Swa89a\]).
 
 use ljqo_catalog::{Query, RelId};
-use serde::{Deserialize, Serialize};
 
 use crate::model::{bound_ingredients, CostModel, JoinCtx};
 
@@ -31,7 +30,7 @@ use crate::model::{bound_ingredients, CostModel, JoinCtx};
 ///
 /// Cross products have no hash table; they cost the output term per
 /// result tuple plus a scan of both inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryCostModel {
     /// Per-inner-tuple build cost.
     pub c_build: f64,
@@ -173,10 +172,7 @@ mod tests {
             order(&[2, 1, 0]),
         ] {
             let c = m.order_cost(&q, &o);
-            assert!(
-                lb <= c + 1e-9,
-                "lower bound {lb} exceeds cost {c} of {o:?}"
-            );
+            assert!(lb <= c + 1e-9, "lower bound {lb} exceeds cost {c} of {o:?}");
         }
         assert!(lb > 0.0);
     }

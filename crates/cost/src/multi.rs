@@ -20,12 +20,11 @@
 //! cost-model-independence argument the paper makes for its methods.
 
 use ljqo_catalog::{Query, RelId};
-use serde::{Deserialize, Serialize};
 
 use crate::model::{bound_ingredients, CostModel, JoinCtx};
 
 /// A physical join operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinMethod {
     /// Classic in-memory hash join (build inner, probe outer).
     Hash,
@@ -48,7 +47,7 @@ impl JoinMethod {
 
 /// Main-memory cost model that picks the cheapest of three join methods
 /// per join.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiMethodCostModel {
     /// Hash: per-inner-tuple build cost.
     pub hash_build: f64,
@@ -106,11 +105,15 @@ impl MultiMethodCostModel {
                 self.method_cost(JoinMethod::NestedLoop, ctx),
             );
         }
-        [JoinMethod::Hash, JoinMethod::NestedLoop, JoinMethod::SortMerge]
-            .into_iter()
-            .map(|m| (m, self.method_cost(m, ctx)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
+        [
+            JoinMethod::Hash,
+            JoinMethod::NestedLoop,
+            JoinMethod::SortMerge,
+        ]
+        .into_iter()
+        .map(|m| (m, self.method_cost(m, ctx)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
     }
 
     /// Annotate an order with the chosen method per join (for EXPLAIN
@@ -153,10 +156,7 @@ impl CostModel for MultiMethodCostModel {
         let (final_size, cards) = bound_ingredients(query, component);
         let touch_sum: f64 = cards.iter().sum();
         let touch_max = cards.iter().cloned().fold(0.0, f64::max);
-        let per_tuple_floor = self
-            .merge_tuple
-            .min(self.hash_build)
-            .min(self.nl_pair);
+        let per_tuple_floor = self.merge_tuple.min(self.hash_build).min(self.nl_pair);
         per_tuple_floor * (touch_sum - touch_max) + self.output * final_size
     }
 }
@@ -218,10 +218,14 @@ mod tests {
     fn join_cost_is_min_over_methods() {
         let m = MultiMethodCostModel::default();
         let c = ctx(3_000.0, 700.0, 400.0);
-        let min = [JoinMethod::Hash, JoinMethod::NestedLoop, JoinMethod::SortMerge]
-            .into_iter()
-            .map(|mm| m.method_cost(mm, &c))
-            .fold(f64::INFINITY, f64::min);
+        let min = [
+            JoinMethod::Hash,
+            JoinMethod::NestedLoop,
+            JoinMethod::SortMerge,
+        ]
+        .into_iter()
+        .map(|mm| m.method_cost(mm, &c))
+        .fold(f64::INFINITY, f64::min);
         assert_eq!(m.join_cost(&c), min);
     }
 

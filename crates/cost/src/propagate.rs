@@ -69,7 +69,8 @@ impl PropagatingWalker {
     fn admit(&mut self, query: &Query, rel: RelId) {
         for &eid in query.graph().incident(rel) {
             let side = Self::side(query, eid, rel);
-            self.distinct[eid.index()][side] = query.graph().edge(eid).distinct_on(rel);
+            self.distinct[eid.index()][side] =
+                query.graph().edge(eid).distinct_on(rel).unwrap_or(1.0);
         }
         self.placed[rel.index()] = true;
     }
@@ -87,12 +88,7 @@ impl PropagatingWalker {
 
     /// Walk `order`, calling `f` per join step; returns the final
     /// cardinality. The walker is consumed (create a fresh one per walk).
-    pub fn walk<F: FnMut(&JoinStep)>(
-        mut self,
-        query: &Query,
-        order: &[RelId],
-        mut f: F,
-    ) -> f64 {
+    pub fn walk<F: FnMut(&JoinStep)>(mut self, query: &Query, order: &[RelId], mut f: F) -> f64 {
         let mut iter = order.iter();
         let Some(&first) = iter.next() else {
             return 0.0;
@@ -108,13 +104,15 @@ impl PropagatingWalker {
             let mut joined_edges: Vec<(EdgeId, f64, f64)> = Vec::new();
             for &eid in query.graph().incident(inner) {
                 let e = query.graph().edge(eid);
-                let Some(other) = e.other(inner) else { continue };
+                let Some(other) = e.other(inner) else {
+                    continue;
+                };
                 if !self.placed[other.index()] {
                     continue;
                 }
                 let outer_side = Self::side(query, eid, other);
                 let d_outer = self.distinct[eid.index()][outer_side];
-                let d_inner = e.distinct_on(inner);
+                let d_inner = e.distinct_on(inner).unwrap_or(1.0);
                 let s = 1.0 / d_outer.max(d_inner).max(1.0);
                 *sel.get_or_insert(1.0) *= s;
                 joined_edges.push((eid, d_outer, d_inner));

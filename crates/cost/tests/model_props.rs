@@ -1,12 +1,15 @@
 //! Property tests on the cost models: monotonicity, positivity, and
-//! lower-bound admissibility over random chain queries.
+//! lower-bound admissibility over random chain queries. Implemented as
+//! seeded-RNG loops: the build is offline, so no proptest — every case
+//! is reproducible from its printed seed.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use ljqo_catalog::{Query, QueryBuilder, RelId};
-use ljqo_cost::{
-    CostModel, DiskCostModel, JoinCtx, MemoryCostModel, MultiMethodCostModel,
-};
+use ljqo_cost::{CostModel, DiskCostModel, JoinCtx, MemoryCostModel, MultiMethodCostModel};
+
+const CASES: u64 = 64;
 
 fn models() -> [Box<dyn CostModel>; 3] {
     [
@@ -16,28 +19,31 @@ fn models() -> [Box<dyn CostModel>; 3] {
     ]
 }
 
-/// Strategy: a random chain query of 3..8 relations.
-fn arb_chain() -> impl Strategy<Value = Query> {
-    prop::collection::vec((10u64..50_000, 0.001f64..1.0), 3..8).prop_map(|specs| {
-        let mut b = QueryBuilder::new();
-        for (i, (card, _)) in specs.iter().enumerate() {
-            b = b.relation(format!("r{i}"), *card);
-        }
-        for (i, (_, sel)) in specs.iter().enumerate().skip(1) {
-            b = b.join(&format!("r{}", i - 1), &format!("r{i}"), *sel);
-        }
-        b.build().unwrap()
-    })
+/// A random chain query of 3..8 relations.
+fn arb_chain(rng: &mut SmallRng) -> Query {
+    let len = rng.gen_range(3usize..8);
+    let mut b = QueryBuilder::new();
+    let mut sels = Vec::with_capacity(len);
+    for i in 0..len {
+        b = b.relation(format!("r{i}"), rng.gen_range(10u64..50_000));
+        sels.push(rng.gen_range(0.001f64..1.0));
+    }
+    for (i, sel) in sels.iter().enumerate().skip(1) {
+        b = b.join(&format!("r{}", i - 1), &format!("r{i}"), *sel);
+    }
+    b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Join costs are positive, finite, and monotone in every cardinality.
-    #[test]
-    fn join_cost_is_monotone(outer in 1.0f64..1e8, inner in 1.0f64..1e8,
-                             output in 1.0f64..1e10, rels in 1usize..20,
-                             bump in 1.1f64..4.0) {
+/// Join costs are positive, finite, and monotone in every cardinality.
+#[test]
+fn join_cost_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xc057_0001 ^ case);
+        let outer = rng.gen_range(1.0f64..1e8);
+        let inner = rng.gen_range(1.0f64..1e8);
+        let output = rng.gen_range(1.0f64..1e10);
+        let rels = rng.gen_range(1usize..20);
+        let bump = rng.gen_range(1.1f64..4.0);
         let ctx = JoinCtx {
             outer_card: outer,
             inner_card: inner,
@@ -47,68 +53,99 @@ proptest! {
         };
         for model in models() {
             let base = model.join_cost(&ctx);
-            prop_assert!(base.is_finite() && base > 0.0, "{}", model.name());
+            assert!(
+                base.is_finite() && base > 0.0,
+                "case {case}: {}",
+                model.name()
+            );
             for grown in [
-                JoinCtx { outer_card: outer * bump, ..ctx },
-                JoinCtx { inner_card: inner * bump, ..ctx },
-                JoinCtx { output_card: output * bump, ..ctx },
+                JoinCtx {
+                    outer_card: outer * bump,
+                    ..ctx
+                },
+                JoinCtx {
+                    inner_card: inner * bump,
+                    ..ctx
+                },
+                JoinCtx {
+                    output_card: output * bump,
+                    ..ctx
+                },
             ] {
-                prop_assert!(
+                assert!(
                     model.join_cost(&grown) >= base - base * 1e-12,
-                    "{} not monotone",
+                    "case {case}: {} not monotone",
                     model.name()
                 );
             }
         }
     }
+}
 
-    /// Lower bounds are admissible for every valid order of a chain.
-    #[test]
-    fn lower_bound_admissible_on_chains(q in arb_chain(), seed in any::<u64>()) {
-        use rand::SeedableRng;
+/// Lower bounds are admissible for every valid order of a chain.
+#[test]
+fn lower_bound_admissible_on_chains() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xc057_0002 ^ case);
+        let q = arb_chain(&mut rng);
         let comp: Vec<RelId> = q.rel_ids().collect();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         for model in models() {
             let lb = model.lower_bound(&q, &comp);
-            prop_assert!(lb >= 0.0 && lb.is_finite());
+            assert!(lb >= 0.0 && lb.is_finite(), "case {case}");
             for _ in 0..5 {
                 let o = ljqo_plan::random_valid_order(q.graph(), &comp, &mut rng);
                 let c = model.order_cost(&q, o.rels());
-                prop_assert!(lb <= c * (1.0 + 1e-12), "{}: {lb} > {c}", model.name());
+                assert!(
+                    lb <= c * (1.0 + 1e-12),
+                    "case {case}: {}: {lb} > {c}",
+                    model.name()
+                );
             }
         }
     }
+}
 
-    /// Order costs only accumulate: the cost of a prefix never exceeds the
-    /// cost of the whole order.
-    #[test]
-    fn prefix_costs_are_monotone(q in arb_chain()) {
+/// Order costs only accumulate: the cost of a prefix never exceeds the
+/// cost of the whole order.
+#[test]
+fn prefix_costs_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xc057_0003 ^ case);
+        let q = arb_chain(&mut rng);
         let order: Vec<RelId> = q.rel_ids().collect();
         for model in models() {
             let mut prev = 0.0;
             for k in 1..=order.len() {
                 let c = model.order_cost(&q, &order[..k]);
-                prop_assert!(c >= prev - prev * 1e-12, "{}", model.name());
+                assert!(c >= prev - prev * 1e-12, "case {case}: {}", model.name());
                 prev = c;
             }
         }
     }
+}
 
-    /// The multi-method model never costs more than the pure hash model
-    /// with matching hash parameters on joins (it takes a min that
-    /// includes hash).
-    #[test]
-    fn multi_method_dominates_hash(outer in 1.0f64..1e7, inner in 1.0f64..1e7,
-                                   output in 1.0f64..1e8, rels in 1usize..10) {
-        let hash = MemoryCostModel { c_copy: 0.0, ..MemoryCostModel::default() };
+/// The multi-method model never costs more than the pure hash model
+/// with matching hash parameters on joins (it takes a min that
+/// includes hash).
+#[test]
+fn multi_method_dominates_hash() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xc057_0004 ^ case);
+        let hash = MemoryCostModel {
+            c_copy: 0.0,
+            ..MemoryCostModel::default()
+        };
         let multi = MultiMethodCostModel::default();
         let ctx = JoinCtx {
-            outer_card: outer,
-            inner_card: inner,
-            output_card: output,
-            outer_rels: rels,
+            outer_card: rng.gen_range(1.0f64..1e7),
+            inner_card: rng.gen_range(1.0f64..1e7),
+            output_card: rng.gen_range(1.0f64..1e8),
+            outer_rels: rng.gen_range(1usize..10),
             is_cross_product: false,
         };
-        prop_assert!(multi.join_cost(&ctx) <= hash.join_cost(&ctx) + 1e-9);
+        assert!(
+            multi.join_cost(&ctx) <= hash.join_cost(&ctx) + 1e-9,
+            "case {case}"
+        );
     }
 }

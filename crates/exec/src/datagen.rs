@@ -27,7 +27,7 @@ pub fn generate_data(query: &Query, seed: u64) -> Vec<Table> {
         let mut columns = Vec::new();
         for &eid in graph.incident(rel) {
             let e = graph.edge(eid);
-            let domain = e.distinct_on(rel).round().max(1.0) as u64;
+            let domain = e.distinct_on(rel).unwrap_or(1.0).round().max(1.0) as u64;
             schema.push(ColKey { rel, edge: eid });
             columns.push((0..n_rows).map(|_| rng.gen_range(0..domain)).collect());
         }

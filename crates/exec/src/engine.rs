@@ -27,7 +27,10 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::Blowup { step, limit } => {
-                write!(f, "intermediate result at join {step} exceeded {limit} rows")
+                write!(
+                    f,
+                    "intermediate result at join {step} exceeded {limit} rows"
+                )
             }
             ExecError::MalformedOrder => write!(f, "malformed join order"),
         }
@@ -115,15 +118,23 @@ impl ExecutionEngine {
             let mut keys: Vec<(usize, usize)> = Vec::new();
             for &eid in query.graph().incident(inner_rel) {
                 let e = query.graph().edge(eid);
-                let Some(other) = e.other(inner_rel) else { continue };
+                let Some(other) = e.other(inner_rel) else {
+                    continue;
+                };
                 if !placed[other.index()] {
                     continue;
                 }
                 let outer_idx = current
-                    .col_index(ColKey { rel: other, edge: eid })
+                    .col_index(ColKey {
+                        rel: other,
+                        edge: eid,
+                    })
                     .expect("outer join column must be present");
                 let inner_idx = inner
-                    .col_index(ColKey { rel: inner_rel, edge: eid })
+                    .col_index(ColKey {
+                        rel: inner_rel,
+                        edge: eid,
+                    })
                     .expect("inner join column must be present");
                 keys.push((outer_idx, inner_idx));
             }
@@ -149,18 +160,18 @@ impl ExecutionEngine {
                 stats.output_tuples += rows as u64;
             } else {
                 // Build on the inner (base) relation.
-                let mut ht: HashMap<Vec<u64>, Vec<usize>> =
-                    HashMap::with_capacity(inner.n_rows());
+                let mut ht: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(inner.n_rows());
                 for rb in 0..inner.n_rows() {
-                    let key: Vec<u64> =
-                        keys.iter().map(|&(_, ic)| inner.columns[ic][rb]).collect();
+                    let key: Vec<u64> = keys.iter().map(|&(_, ic)| inner.columns[ic][rb]).collect();
                     ht.entry(key).or_default().push(rb);
                 }
                 stats.build_tuples += inner.n_rows() as u64;
                 // Probe with the outer.
                 for ra in 0..current.n_rows() {
-                    let key: Vec<u64> =
-                        keys.iter().map(|&(oc, _)| current.columns[oc][ra]).collect();
+                    let key: Vec<u64> = keys
+                        .iter()
+                        .map(|&(oc, _)| current.columns[oc][ra])
+                        .collect();
                     if let Some(matches) = ht.get(&key) {
                         for &rb in matches {
                             Table::append_joined_row(&mut result, &current, ra, inner, rb);

@@ -39,10 +39,7 @@ impl Table {
     pub fn new(schema: Vec<ColKey>, columns: Vec<Vec<u64>>) -> Self {
         assert_eq!(schema.len(), columns.len(), "schema/column arity mismatch");
         let n_rows = columns.first().map_or(0, Vec::len);
-        assert!(
-            columns.iter().all(|c| c.len() == n_rows),
-            "ragged columns"
-        );
+        assert!(columns.iter().all(|c| c.len() == n_rows), "ragged columns");
         Table {
             schema,
             columns,

@@ -181,12 +181,13 @@ mod tests {
 
     #[test]
     fn zero_measured_rows_are_skipped_in_summaries() {
-        // Disjoint domains: a.x in [0,10), c uses its own edge; force an
-        // empty join by selecting selectivity so small the expected
-        // matches are < 1.
+        // Force an empty join: selections leave ~20 rows a side, drawn
+        // from a 100k-value domain, so expected matches are ≪ 1. (The
+        // distinct counts stay within base cardinality — validation
+        // rejects catalogs that claim more distincts than rows.)
         let q = QueryBuilder::new()
-            .relation("a", 20)
-            .relation("b", 20)
+            .relation_with_selection("a", 100_000, 0.0002)
+            .relation_with_selection("b", 100_000, 0.0002)
             .join_on_distincts("a", "b", 100_000.0, 100_000.0)
             .build()
             .unwrap();

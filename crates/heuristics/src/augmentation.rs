@@ -78,7 +78,7 @@ impl AugmentationCriterion {
                         AugmentationCriterion::MinSelectivity => e.selectivity,
                         AugmentationCriterion::MinIntermediateSize => n_i * n_j * e.selectivity,
                         AugmentationCriterion::MinRank => {
-                            let d_j = e.distinct_on(j);
+                            let d_j = e.distinct_on(j).unwrap_or(1.0);
                             let denom = 0.5 * n_i * (n_j / d_j);
                             (n_i * n_j * e.selectivity - 1.0) / denom.max(f64::MIN_POSITIVE)
                         }
@@ -121,8 +121,7 @@ impl AugmentationHeuristic {
         rels.sort_by(|&a, &b| {
             query
                 .cardinality(a)
-                .partial_cmp(&query.cardinality(b))
-                .unwrap()
+                .total_cmp(&query.cardinality(b))
                 .then(a.cmp(&b))
         });
         rels
@@ -150,16 +149,18 @@ impl AugmentationHeuristic {
         // Frontier of candidates joined to the placed set.
         let mut in_frontier = vec![false; n_rel];
         let mut frontier: Vec<RelId> = Vec::new();
-        let extend = |r: RelId, frontier: &mut Vec<RelId>, in_frontier: &mut Vec<bool>, placed: &[bool]| {
-            for &eid in query.graph().incident(r) {
-                if let Some(o) = query.graph().edge(eid).other(r) {
-                    if in_component[o.index()] && !placed[o.index()] && !in_frontier[o.index()] {
-                        in_frontier[o.index()] = true;
-                        frontier.push(o);
+        let extend =
+            |r: RelId, frontier: &mut Vec<RelId>, in_frontier: &mut Vec<bool>, placed: &[bool]| {
+                for &eid in query.graph().incident(r) {
+                    if let Some(o) = query.graph().edge(eid).other(r) {
+                        if in_component[o.index()] && !placed[o.index()] && !in_frontier[o.index()]
+                        {
+                            in_frontier[o.index()] = true;
+                            frontier.push(o);
+                        }
                     }
                 }
-            }
-        };
+            };
         extend(first, &mut frontier, &mut in_frontier, &placed);
 
         while !frontier.is_empty() {
@@ -292,8 +293,7 @@ mod tests {
         let orders = h.generate_all(&q, &comp(&q));
         assert_eq!(orders.len(), 4);
         // Each order starts with a distinct relation.
-        let firsts: std::collections::HashSet<RelId> =
-            orders.iter().map(|o| o.at(0)).collect();
+        let firsts: std::collections::HashSet<RelId> = orders.iter().map(|o| o.at(0)).collect();
         assert_eq!(firsts.len(), 4);
     }
 

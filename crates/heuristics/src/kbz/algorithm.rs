@@ -185,8 +185,7 @@ mod tests {
                 let mut order = vec![root];
                 order.extend_from_slice(perm);
                 let ok = order.iter().enumerate().all(|(i, &r)| {
-                    rooted.parent[r.index()]
-                        .is_none_or(|(p, _)| order[..i].contains(&p))
+                    rooted.parent[r.index()].is_none_or(|(p, _)| order[..i].contains(&p))
                 });
                 if ok {
                     best = best.min(asi_cost(&rooted, &order));
@@ -227,7 +226,7 @@ mod tests {
         let best_asi = comp
             .iter()
             .map(|&root| algorithm_r_with_cost(&h, &q, &t.rooted_at(root)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert_eq!(best, best_asi.0);
         for &root in &comp {

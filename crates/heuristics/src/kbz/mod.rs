@@ -123,7 +123,7 @@ impl KbzHeuristic {
             let cost = ev.cost(&order);
             states.push((order, cost));
         }
-        states.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        states.sort_by(|a, b| a.1.total_cmp(&b.1));
         states.into_iter().map(|(o, _)| o).collect()
     }
 }

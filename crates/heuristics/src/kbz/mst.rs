@@ -39,7 +39,7 @@ impl MstWeight {
             MstWeight::Selectivity => e.selectivity,
             MstWeight::IntermediateSize => n_i * n_j * e.selectivity,
             MstWeight::Rank => {
-                let d_j = e.distinct_on(to);
+                let d_j = e.distinct_on(to).unwrap_or(1.0);
                 let denom = (0.5 * n_i * (n_j / d_j)).max(f64::MIN_POSITIVE);
                 (n_i * n_j * e.selectivity - 1.0) / denom
             }
@@ -82,8 +82,7 @@ impl UnrootedTree {
             .min_by(|&a, &b| {
                 query
                     .cardinality(a)
-                    .partial_cmp(&query.cardinality(b))
-                    .unwrap()
+                    .total_cmp(&query.cardinality(b))
                     .then(a.cmp(&b))
             })
             .unwrap();

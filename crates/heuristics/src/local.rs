@@ -26,18 +26,36 @@ pub struct LocalImprovement {
 /// The budget-ordered strategy ladder from the paper: use the first entry
 /// whose single pass fits the remaining budget.
 pub const STRATEGY_LADDER: [LocalImprovement; 5] = [
-    LocalImprovement { cluster: 5, overlap: 4 },
-    LocalImprovement { cluster: 4, overlap: 3 },
-    LocalImprovement { cluster: 3, overlap: 2 },
-    LocalImprovement { cluster: 2, overlap: 1 },
-    LocalImprovement { cluster: 2, overlap: 0 },
+    LocalImprovement {
+        cluster: 5,
+        overlap: 4,
+    },
+    LocalImprovement {
+        cluster: 4,
+        overlap: 3,
+    },
+    LocalImprovement {
+        cluster: 3,
+        overlap: 2,
+    },
+    LocalImprovement {
+        cluster: 2,
+        overlap: 1,
+    },
+    LocalImprovement {
+        cluster: 2,
+        overlap: 0,
+    },
 ];
 
 impl LocalImprovement {
     /// Create a strategy. Panics unless `2 ≤ c` and `o < c`.
     pub fn new(cluster: usize, overlap: usize) -> Self {
         assert!(cluster >= 2, "cluster size must be at least 2");
-        assert!(overlap < cluster, "overlap must be smaller than the cluster");
+        assert!(
+            overlap < cluster,
+            "overlap must be smaller than the cluster"
+        );
         LocalImprovement { cluster, overlap }
     }
 

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ljqo_catalog::{Query, RelId};
 
 use crate::tree::JoinTree;
@@ -15,7 +13,7 @@ use crate::tree::JoinTree;
 /// as the outer operand. For a query whose join graph is connected this
 /// covers every relation; for disconnected queries each [`Plan`] segment is
 /// one `JoinOrder` over a single component.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JoinOrder(Vec<RelId>);
 
 impl JoinOrder {
@@ -119,7 +117,7 @@ impl From<Vec<RelId>> for JoinOrder {
 /// the paper's heuristic of postponing cross products as late as possible
 /// means each component is fully reduced before any cross product happens.
 /// Segment order is chosen by the driver (ascending estimated result size).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Per-component join orders, in cross-product application order.
     pub segments: Vec<JoinOrder>,

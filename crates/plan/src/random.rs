@@ -39,19 +39,17 @@ pub fn random_valid_order<R: Rng + ?Sized>(
     // Frontier: unplaced relations joined to at least one placed relation.
     let mut frontier: Vec<RelId> = Vec::with_capacity(component.len());
     let mut in_frontier = vec![false; graph.n_relations()];
-    let extend_frontier = |r: RelId,
-                               placed: &[bool],
-                               frontier: &mut Vec<RelId>,
-                               in_frontier: &mut Vec<bool>| {
-        for &eid in graph.incident(r) {
-            if let Some(o) = graph.edge(eid).other(r) {
-                if in_component[o.index()] && !placed[o.index()] && !in_frontier[o.index()] {
-                    in_frontier[o.index()] = true;
-                    frontier.push(o);
+    let extend_frontier =
+        |r: RelId, placed: &[bool], frontier: &mut Vec<RelId>, in_frontier: &mut Vec<bool>| {
+            for &eid in graph.incident(r) {
+                if let Some(o) = graph.edge(eid).other(r) {
+                    if in_component[o.index()] && !placed[o.index()] && !in_frontier[o.index()] {
+                        in_frontier[o.index()] = true;
+                        frontier.push(o);
+                    }
                 }
             }
-        }
-    };
+        };
     extend_frontier(first, &placed, &mut frontier, &mut in_frontier);
 
     while !frontier.is_empty() {

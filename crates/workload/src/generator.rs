@@ -135,15 +135,22 @@ mod tests {
         // Averaged over seeds, cutoff 0.1 must yield clearly more edges
         // than cutoff 0.01 (there are N(N+1)/2 - N candidate pairs).
         let sparse: usize = (0..20)
-            .map(|s| generate_query(&Benchmark::Default.spec(), 40, s).graph().edges().len())
+            .map(|s| {
+                generate_query(&Benchmark::Default.spec(), 40, s)
+                    .graph()
+                    .edges()
+                    .len()
+            })
             .sum();
         let dense: usize = (0..20)
-            .map(|s| generate_query(&Benchmark::GraphDense.spec(), 40, s).graph().edges().len())
+            .map(|s| {
+                generate_query(&Benchmark::GraphDense.spec(), 40, s)
+                    .graph()
+                    .edges()
+                    .len()
+            })
             .sum();
-        assert!(
-            dense > sparse + 20 * 20,
-            "dense {dense} vs sparse {sparse}"
-        );
+        assert!(dense > sparse + 20 * 20, "dense {dense} vs sparse {sparse}");
     }
 
     #[test]
@@ -152,10 +159,7 @@ mod tests {
             (0..20)
                 .map(|s| {
                     let q = generate_query(&bench.spec(), 40, s);
-                    q.rel_ids()
-                        .map(|r| q.graph().degree(r))
-                        .max()
-                        .unwrap() as f64
+                    q.rel_ids().map(|r| q.graph().degree(r)).max().unwrap() as f64
                 })
                 .sum::<f64>()
                 / 20.0
@@ -170,13 +174,18 @@ mod tests {
 
     #[test]
     fn chain_benchmark_is_path_like() {
-        let q = generate_query(&Benchmark::GraphChain.spec(), 40, 3);
-        // Step 2 still sprinkles a few extra predicates (cutoff 0.01), but
-        // the bulk of relations should sit on a path: degree <= 2.
-        let low: usize = q
-            .rel_ids()
-            .filter(|&r| q.graph().degree(r) <= 2)
-            .count();
+        // Zero the extra-predicate cutoff to isolate step 1: with ~780
+        // candidate pairs even a 0.01 cutoff adds ~8 extra edges, pushing
+        // ~15 relations above degree 2 in expectation — a path test over
+        // the full pipeline would hinge on seed luck.
+        let spec = QuerySpec {
+            join_cutoff: 0.0,
+            ..Benchmark::GraphChain.spec()
+        };
+        let q = generate_query(&spec, 40, 3);
+        // The chain bias extends the most recent relation 95% of the
+        // time, so the bulk of relations sit on a path: degree <= 2.
+        let low: usize = q.rel_ids().filter(|&r| q.graph().degree(r) <= 2).count();
         assert!(
             low * 4 >= q.n_relations() * 3,
             "only {low}/{} relations have degree <= 2",

@@ -26,6 +26,4 @@ mod generator;
 mod spec;
 
 pub use generator::generate_query;
-pub use spec::{
-    Benchmark, CardinalityDist, DistinctDist, GraphShape, QuerySpec, SELECTIVITY_LIST,
-};
+pub use spec::{Benchmark, CardinalityDist, DistinctDist, GraphShape, QuerySpec, SELECTIVITY_LIST};

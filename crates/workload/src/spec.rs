@@ -1,7 +1,6 @@
 //! Distribution specifications for query synthesis.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The paper's list of selection selectivities; each selection predicate
 /// draws uniformly from this list (0.34 and 0.5 are deliberately
@@ -11,7 +10,7 @@ pub const SELECTIVITY_LIST: [f64; 15] = [
 ];
 
 /// Distribution of relation cardinalities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CardinalityDist {
     /// Weighted buckets `(lo, hi, weight)`; within a bucket the cardinality
     /// is uniform over `[lo, hi)`.
@@ -56,17 +55,13 @@ impl CardinalityDist {
 /// Buckets are `(lo, hi, weight)` with the fraction drawn uniformly from
 /// the half-open interval `(lo, hi]`; a bucket with `lo == hi` is a point
 /// mass (used for the paper's "exactly 1.0" bucket).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistinctDist(pub Vec<(f64, f64, f64)>);
 
 impl DistinctDist {
     /// The paper's default: `(0,0.2] 90%, (0.2,1) 9%, 1.0 1%`.
     pub fn default_paper() -> Self {
-        DistinctDist(vec![
-            (0.0, 0.2, 0.90),
-            (0.2, 1.0, 0.09),
-            (1.0, 1.0, 0.01),
-        ])
+        DistinctDist(vec![(0.0, 0.2, 0.90), (0.2, 1.0, 0.09), (1.0, 1.0, 0.01)])
     }
 
     /// Sample a fraction in `(0, 1]`.
@@ -89,7 +84,7 @@ impl DistinctDist {
 
 /// Bias applied when generating the initial spanning tree of the join
 /// graph (paper §5, join-graph variations 2 and 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphShape {
     /// Link each new relation to a uniformly random placed relation.
     Random,
@@ -102,7 +97,7 @@ pub enum GraphShape {
 }
 
 /// Full specification of a synthetic benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Relation cardinality distribution.
     pub cardinalities: CardinalityDist,
@@ -132,7 +127,7 @@ impl Default for QuerySpec {
 
 /// The paper's ten benchmarks: the default plus nine variations (numbered
 /// 1–9 as in Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// The default distributions.
     Default,
@@ -224,25 +219,16 @@ impl Benchmark {
                 spec.cardinalities = CardinalityDist::Uniform(10, 100_000);
             }
             Benchmark::DistinctMore => {
-                spec.distinct_values = DistinctDist(vec![
-                    (0.0, 0.2, 0.80),
-                    (0.2, 1.0, 0.16),
-                    (1.0, 1.0, 0.04),
-                ]);
+                spec.distinct_values =
+                    DistinctDist(vec![(0.0, 0.2, 0.80), (0.2, 1.0, 0.16), (1.0, 1.0, 0.04)]);
             }
             Benchmark::DistinctFewer => {
-                spec.distinct_values = DistinctDist(vec![
-                    (0.0, 0.1, 0.90),
-                    (0.1, 1.0, 0.09),
-                    (1.0, 1.0, 0.01),
-                ]);
+                spec.distinct_values =
+                    DistinctDist(vec![(0.0, 0.1, 0.90), (0.1, 1.0, 0.09), (1.0, 1.0, 0.01)]);
             }
             Benchmark::DistinctBoth => {
-                spec.distinct_values = DistinctDist(vec![
-                    (0.0, 0.1, 0.80),
-                    (0.1, 1.0, 0.16),
-                    (1.0, 1.0, 0.04),
-                ]);
+                spec.distinct_values =
+                    DistinctDist(vec![(0.0, 0.1, 0.80), (0.1, 1.0, 0.16), (1.0, 1.0, 0.04)]);
             }
             Benchmark::GraphDense => {
                 spec.join_cutoff = 0.1;

@@ -19,7 +19,7 @@ fn build_chain(n_joins: usize, seed: u64) -> Query {
     let mut names = Vec::new();
     for i in 0..=n_joins {
         let name = format!("v{i:02}");
-        let card = 10u64.pow(rng.gen_range(1..=4)) * rng.gen_range(1..10);
+        let card = 10u64.pow(rng.gen_range(1..=4)) * rng.gen_range(1u64..10);
         b = b.relation(&name, card);
         names.push((name, card));
     }

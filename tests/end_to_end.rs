@@ -17,7 +17,10 @@ fn assert_plan_covers_query(query: &Query, plan: &Plan) {
             seen[r.index()] = true;
         }
     }
-    assert!(seen.into_iter().all(|s| s), "plan must cover every relation");
+    assert!(
+        seen.into_iter().all(|s| s),
+        "plan must cover every relation"
+    );
 }
 
 #[test]
@@ -113,7 +116,9 @@ fn optimizer_is_deterministic_across_methods() {
     let model = MemoryCostModel::default();
     let query = generate_query(&Benchmark::GraphStar.spec(), 20, 9);
     for method in Method::ALL {
-        let config = OptimizerConfig::new(method).with_time_limit(1.0).with_seed(31);
+        let config = OptimizerConfig::new(method)
+            .with_time_limit(1.0)
+            .with_seed(31);
         let a = optimize(&query, &model, &config);
         let b = optimize(&query, &model, &config);
         assert_eq!(a.plan, b.plan, "{method}");
@@ -135,7 +140,11 @@ fn disconnected_query_costs_include_cross_products() {
         .build()
         .unwrap();
     let model = MemoryCostModel::default();
-    let result = optimize(&query, &model, &OptimizerConfig::new(Method::Ii).with_seed(2));
+    let result = optimize(
+        &query,
+        &model,
+        &OptimizerConfig::new(Method::Ii).with_seed(2),
+    );
     assert_eq!(result.plan.segments.len(), 2);
 
     let seg_costs: f64 = result
@@ -151,7 +160,11 @@ fn disconnected_query_costs_include_cross_products() {
 fn plan_display_and_explain_are_consistent() {
     let query = generate_query(&Benchmark::Default.spec(), 12, 5);
     let model = MemoryCostModel::default();
-    let result = optimize(&query, &model, &OptimizerConfig::new(Method::Agi).with_seed(8));
+    let result = optimize(
+        &query,
+        &model,
+        &OptimizerConfig::new(Method::Agi).with_seed(8),
+    );
     let tree = result.plan.to_tree();
     assert_eq!(tree.n_leaves(), query.n_relations());
     let explain = tree.explain(&query);

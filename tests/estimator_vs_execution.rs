@@ -27,42 +27,48 @@ fn test_query(seed: u64) -> Query {
 
 #[test]
 fn estimated_sizes_track_measured_sizes() {
-    let query = test_query(1);
-    let data = generate_data(&query, 42);
-    let comp: Vec<RelId> = query.rel_ids().collect();
-    let mut rng = SmallRng::seed_from_u64(7);
-
     // Under uniformity + independence the estimates are unbiased for
     // these uncorrelated synthetic columns, but any single step is one
     // sample of a high-variance count (and errors compound down the
-    // chain). So we assert on the distribution of log-ratios rather than
-    // on each step: typical agreement within 2x, worst case within 8x.
+    // chain). Within one query the errors are also *correlated* across
+    // orders — every order reuses the same realized join selectivities —
+    // so we sample several independent (query, dataset) pairs and assert
+    // on the pooled distribution of log-ratios: typical agreement within
+    // 2x, 95th percentile within 8x.
     let mut log_ratios = Vec::new();
-    for _ in 0..10 {
-        let order = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
-        let est = intermediate_sizes(&query, order.rels());
-        let Ok(stats) = execute_order(&query, &data, order.rels()) else {
-            continue; // blowup guard tripped; skip this order
-        };
-        for (e, &m) in est.iter().zip(&stats.intermediate_rows) {
-            let m = m as f64;
-            if m >= 20.0 {
-                log_ratios.push((e / m).ln());
+    for qseed in 1..=4u64 {
+        let query = test_query(qseed);
+        let data = generate_data(&query, 42 + qseed);
+        let comp: Vec<RelId> = query.rel_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(7 ^ qseed);
+        for _ in 0..10 {
+            let order = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
+            let est = intermediate_sizes(&query, order.rels());
+            let Ok(stats) = execute_order(&query, &data, order.rels()) else {
+                continue; // blowup guard tripped; skip this order
+            };
+            for (e, &m) in est.iter().zip(&stats.intermediate_rows) {
+                let m = m as f64;
+                if m >= 20.0 {
+                    log_ratios.push((e / m).ln());
+                }
             }
         }
     }
     assert!(log_ratios.len() >= 10, "too few comparable steps");
     let mean_abs = log_ratios.iter().map(|r| r.abs()).sum::<f64>() / log_ratios.len() as f64;
-    let max_abs = log_ratios.iter().map(|r| r.abs()).fold(0.0, f64::max);
+    let mut abs: Vec<f64> = log_ratios.iter().map(|r| r.abs()).collect();
+    abs.sort_by(f64::total_cmp);
+    let p95 = abs[(abs.len() * 95 / 100).min(abs.len() - 1)];
     assert!(
         mean_abs <= 2.0f64.ln(),
         "typical estimate error {:.2}x exceeds 2x",
         mean_abs.exp()
     );
     assert!(
-        max_abs <= 8.0f64.ln(),
-        "worst estimate error {:.2}x exceeds 8x",
-        max_abs.exp()
+        p95 <= 8.0f64.ln(),
+        "95th-percentile estimate error {:.2}x exceeds 8x",
+        p95.exp()
     );
 }
 
@@ -76,14 +82,14 @@ fn cost_model_ranking_predicts_measured_work() {
 
     // Gather (model cost, measured work) for a batch of random plans.
     let mut points: Vec<(f64, f64)> = Vec::new();
-    for _ in 0..12 {
+    for _ in 0..40 {
         let order = ljqo::plan::random_valid_order(query.graph(), &comp, &mut rng);
         let cost = model.order_cost(&query, order.rels());
         if let Ok(stats) = execute_order(&query, &data, order.rels()) {
             points.push((cost, stats.total_work() as f64));
         }
     }
-    assert!(points.len() >= 8, "too many blowups");
+    assert!(points.len() >= 20, "too many blowups");
 
     // Rank correlation: count concordant pairs.
     let mut concordant = 0;

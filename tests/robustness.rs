@@ -1,0 +1,326 @@
+//! Fault-injection and degradation tests for the hardened optimize path.
+//!
+//! The optimizer driver promises: give it a *validated* catalog and it
+//! returns a valid plan whenever one exists — even when the cost model
+//! panics or emits `NaN`, when workers die, or when the wall-clock
+//! deadline has already passed. Give it an *invalid* catalog and it
+//! returns a typed [`CatalogError`] instead of panicking. These tests
+//! exercise every rung of that ladder with deterministic faults.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use ljqo::parallel::run_parallel;
+use ljqo::prelude::*;
+use ljqo_cost::{FaultMode, FaultyCostModel};
+use ljqo_plan::validity::is_valid;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn chain_query() -> Query {
+    QueryBuilder::new()
+        .relation("a", 3000)
+        .relation("b", 12)
+        .relation("c", 700)
+        .relation("d", 55)
+        .relation("e", 1400)
+        .relation("f", 90)
+        .join("a", "b", 0.01)
+        .join("b", "c", 0.002)
+        .join("c", "d", 0.05)
+        .join("d", "e", 0.001)
+        .join("e", "f", 0.02)
+        .build()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Worker panic isolation
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_run_survives_all_but_one_worker_panicking() {
+    let q = chain_query();
+    let comp: Vec<RelId> = q.rel_ids().collect();
+    let runner = MethodRunner::default();
+    let workers = 4;
+    // Every worker thread except the first one to evaluate panics on
+    // every evaluation: 3 of 4 workers die.
+    let model = FaultyCostModel::new(
+        MemoryCostModel::default(),
+        FaultMode::PanicOnAllButFirstThread,
+    );
+    let r = run_parallel(&q, &model, &runner, Method::Ii, &comp, 4_000, workers, 9)
+        .expect("the surviving worker must still produce a plan");
+    assert_eq!(r.workers_failed, workers - 1);
+    assert!(is_valid(q.graph(), r.order.rels()));
+    assert!(r.cost.is_finite());
+    assert!(r.n_evals > 0);
+}
+
+#[test]
+fn parallel_run_with_every_worker_dead_returns_none() {
+    let q = chain_query();
+    let comp: Vec<RelId> = q.rel_ids().collect();
+    let runner = MethodRunner::default();
+    // The very first evaluation panics, and with a share of 1 unit each
+    // every other worker's first evaluation is also its last chance.
+    let model = FaultyCostModel::new(MemoryCostModel::default(), FaultMode::PanicOnKth(1));
+    let r = run_parallel(&q, &model, &runner, Method::Ii, &comp, 4_000, 4, 9);
+    // Whichever worker drew the fault died; the others survive, so a
+    // result still comes back — but the failure must be accounted.
+    let r = r.expect("three healthy workers remain");
+    assert_eq!(r.workers_failed, 1);
+    assert!(is_valid(q.graph(), r.order.rels()));
+}
+
+// ---------------------------------------------------------------------
+// Sequential driver degradation ladder
+// ---------------------------------------------------------------------
+
+#[test]
+fn method_panic_degrades_to_heuristic_plan() {
+    let q = chain_query();
+    // The method's first evaluation panics; the augmentation fallback
+    // (evaluation #2) succeeds.
+    let model = FaultyCostModel::new(MemoryCostModel::default(), FaultMode::PanicOnKth(1));
+    let r = try_optimize(&q, &model, &OptimizerConfig::new(Method::Iai).with_seed(3))
+        .expect("fallback ladder must rescue the plan");
+    assert_eq!(r.degradation, Degradation::Heuristic);
+    assert!(r.degradation.is_degraded());
+    assert_eq!(r.plan.n_relations(), q.n_relations());
+    assert!(is_valid(q.graph(), r.plan.segments[0].rels()));
+    assert!(r.cost.is_finite());
+}
+
+#[test]
+fn panic_at_any_evaluation_still_yields_a_valid_plan() {
+    let q = chain_query();
+    for k in 1..=40 {
+        let model = FaultyCostModel::new(MemoryCostModel::default(), FaultMode::PanicOnKth(k));
+        let config = OptimizerConfig::new(Method::Agi)
+            .with_seed(11)
+            .with_time_limit(0.5);
+        let r = catch_unwind(AssertUnwindSafe(|| try_optimize(&q, &model, &config)))
+            .unwrap_or_else(|_| panic!("driver panicked with fault at evaluation {k}"))
+            .unwrap_or_else(|e| panic!("no plan with fault at evaluation {k}: {e}"));
+        assert!(
+            is_valid(q.graph(), r.plan.segments[0].rels()),
+            "invalid plan with fault at evaluation {k}"
+        );
+        assert!(r.cost.is_finite(), "fault at evaluation {k}");
+    }
+}
+
+#[test]
+fn nan_costs_never_poison_the_result() {
+    let q = chain_query();
+    for k in [1, 2, 5, 20] {
+        let model = FaultyCostModel::new(MemoryCostModel::default(), FaultMode::NanOnKth(k));
+        let r = try_optimize(&q, &model, &OptimizerConfig::new(Method::Ii).with_seed(7))
+            .expect("NaN is saturated, not fatal");
+        // The NaN evaluation saturates to f64::MAX and loses to every
+        // healthy evaluation, so the method completes undegraded.
+        assert_eq!(r.degradation, Degradation::None);
+        assert!(r.cost.is_finite());
+        assert!(r.cost < f64::MAX, "NaN evaluation must not be selected");
+        assert!(is_valid(q.graph(), r.plan.segments[0].rels()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------
+
+#[test]
+fn immediate_deadline_returns_degraded_fallback() {
+    let q = chain_query();
+    let model = MemoryCostModel::default();
+    let config = OptimizerConfig::new(Method::Ii)
+        .with_seed(1)
+        .with_deadline(Duration::ZERO);
+    let r = try_optimize(&q, &model, &config).expect("fallback must produce a plan");
+    assert!(r.deadline_expired);
+    assert!(
+        r.degradation.is_degraded(),
+        "no search time means a fallback plan"
+    );
+    assert!(is_valid(q.graph(), r.plan.segments[0].rels()));
+    assert!(r.cost.is_finite());
+}
+
+#[test]
+fn generous_deadline_does_not_degrade() {
+    let q = chain_query();
+    let model = MemoryCostModel::default();
+    let config = OptimizerConfig::new(Method::Iai)
+        .with_seed(1)
+        .with_deadline(Duration::from_secs(3600));
+    let r = try_optimize(&q, &model, &config).unwrap();
+    assert!(!r.deadline_expired);
+    assert_eq!(r.degradation, Degradation::None);
+    // Matches an undeadlined run exactly: the deadline only reads the
+    // clock, it does not perturb the deterministic search.
+    let plain = try_optimize(&q, &model, &OptimizerConfig::new(Method::Iai).with_seed(1)).unwrap();
+    assert_eq!(r.plan, plain.plan);
+    assert_eq!(r.cost, plain.cost);
+}
+
+// ---------------------------------------------------------------------
+// Catalog validation at the optimize boundary
+// ---------------------------------------------------------------------
+
+#[test]
+fn nan_statistics_yield_catalog_errors_not_panics() {
+    // NaN selection selectivity.
+    let err = QueryBuilder::new()
+        .relation_with_selection("a", 10, f64::NAN)
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CatalogError::BadSelectivity { .. } | CatalogError::NonFinite { .. }
+    ));
+
+    // NaN join selectivity.
+    let err = QueryBuilder::new()
+        .relation("a", 10)
+        .relation("b", 20)
+        .join("a", "b", f64::NAN)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, CatalogError::BadSelectivity { .. }));
+
+    // NaN distinct count, injected below the builder's derivations.
+    let err = Query::new(
+        vec![Relation::new("a", 10), Relation::new("b", 20)],
+        vec![JoinEdge::new(0u32, 1u32, 0.5, f64::NAN, 4.0)],
+    )
+    .unwrap_err();
+    assert!(matches!(err, CatalogError::NonFinite { .. }));
+}
+
+#[test]
+fn random_catalogs_validate_or_optimize_cleanly() {
+    // Property: any catalog either fails `Query::new` with a typed error
+    // or optimizes to a valid plan — never a panic, never an invalid
+    // plan. Statistics are drawn adversarially: zero cardinalities,
+    // selectivities outside (0,1], NaN, distincts exceeding cardinality,
+    // dangling and self-loop edges.
+    let model = MemoryCostModel::default();
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for case in 0u64..120 {
+        let mut rng = SmallRng::seed_from_u64(0x0B0B_5000 ^ case);
+        let n = rng.gen_range(1usize..7);
+        let mut relations = Vec::new();
+        for i in 0..n {
+            let card = match rng.gen_range(0u32..8) {
+                0 => 0,
+                1 => 1,
+                _ => rng.gen_range(1u64..100_000),
+            };
+            let mut rel = Relation::new(format!("r{i}"), card);
+            if rng.gen_range(0u32..3) == 0 {
+                rel = rel.with_selection(match rng.gen_range(0u32..6) {
+                    0 => f64::NAN,
+                    1 => 0.0,
+                    2 => 1.5,
+                    3 => -0.2,
+                    _ => rng.gen_range(0.01..1.0),
+                });
+            }
+            relations.push(rel);
+        }
+        let n_edges = rng.gen_range(0usize..(n * 2).max(1));
+        let mut edges = Vec::new();
+        for _ in 0..n_edges {
+            // Deliberately include out-of-range endpoints (dangling) and
+            // occasional self-loops.
+            let a = rng.gen_range(0u32..(n as u32 + 2));
+            let b = if rng.gen_range(0u32..8) == 0 {
+                a
+            } else {
+                rng.gen_range(0u32..(n as u32 + 2))
+            };
+            let sel = match rng.gen_range(0u32..8) {
+                0 => f64::NAN,
+                1 => 0.0,
+                2 => 2.0,
+                _ => rng.gen_range(1e-6..1.0),
+            };
+            let d = match rng.gen_range(0u32..6) {
+                0 => f64::NAN,
+                1 => 1e12, // likely exceeds the side's cardinality
+                _ => rng.gen_range(1.0..1000.0),
+            };
+            edges.push(JoinEdge::new(a, b, sel, d, d));
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match Query::new(relations.clone(), edges.clone()) {
+                Err(_) => None,
+                Ok(q) => {
+                    let config = OptimizerConfig::new(Method::Iai)
+                        .with_seed(case)
+                        .with_time_limit(0.5);
+                    let r = try_optimize(&q, &model, &config).expect("valid catalog must plan");
+                    assert_eq!(r.plan.n_relations(), q.n_relations(), "case {case}");
+                    for seg in &r.plan.segments {
+                        assert!(is_valid(q.graph(), seg.rels()), "case {case}");
+                    }
+                    assert!(r.cost.is_finite(), "case {case}");
+                    Some(())
+                }
+            }
+        }));
+        match outcome.unwrap_or_else(|_| panic!("panic on case {case}")) {
+            Some(()) => accepted += 1,
+            None => rejected += 1,
+        }
+    }
+    // The generator must actually exercise both arms.
+    assert!(accepted >= 10, "only {accepted} catalogs accepted");
+    assert!(rejected >= 10, "only {rejected} catalogs rejected");
+}
+
+#[test]
+fn random_moves_preserve_validity_on_surviving_catalogs() {
+    // Property: from any valid order of a validated random catalog, any
+    // accepted move proposal yields another valid order.
+    let mut checked = 0u32;
+    for case in 0u64..40 {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_1000 ^ case);
+        let n = rng.gen_range(2usize..8);
+        let mut builder = QueryBuilder::new();
+        for i in 0..n {
+            builder = builder.relation(format!("r{i}"), rng.gen_range(1u64..10_000));
+        }
+        // A random spanning tree keeps the graph connected.
+        for i in 1..n {
+            let parent = rng.gen_range(0usize..i);
+            builder = builder.join(
+                &format!("r{parent}"),
+                &format!("r{i}"),
+                rng.gen_range(1e-4..1.0f64),
+            );
+        }
+        let q = builder
+            .build()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let mut order = ljqo_plan::random_valid_order(q.graph(), &comp, &mut rng);
+        assert!(is_valid(q.graph(), order.rels()), "case {case} start");
+        let mut gen = MoveGenerator::new(q.n_relations(), MoveSet::default());
+        for step in 0..50 {
+            // `propose` applies the move before returning it.
+            if gen.propose(q.graph(), &mut order, &mut rng).is_some() {
+                assert!(
+                    is_valid(q.graph(), order.rels()),
+                    "case {case} step {step} broke validity"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 200, "only {checked} moves exercised");
+}

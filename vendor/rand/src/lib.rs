@@ -1,0 +1,265 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace vendors the small slice of the `rand` 0.8 API it actually
+//! uses: [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`], and the
+//! [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator is xoshiro256++ (the same family `rand`'s `SmallRng`
+//! uses on 64-bit targets), seeded through SplitMix64. Streams are
+//! deterministic given a seed but are **not** bit-compatible with the
+//! upstream crate — nothing in this workspace depends on upstream
+//! streams, only on internal determinism.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type: `f64` uniform in
+    /// `[0, 1)`, integers uniform over their whole range, `bool` fair.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(&mut |_| self.next_u64())
+    }
+
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut |_| self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value; `next` yields raw 64-bit words (its argument is
+    /// ignored and exists only to keep the closure signature nameable).
+    fn sample_standard(next: &mut dyn FnMut(()) -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(next: &mut dyn FnMut(()) -> u64) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (next(()) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(next: &mut dyn FnMut(()) -> u64) -> Self {
+        next(())
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(next: &mut dyn FnMut(()) -> u64) -> Self {
+        (next(()) >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(next: &mut dyn FnMut(()) -> u64) -> Self {
+        next(()) & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> T;
+}
+
+/// Uniform u64 in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_u64(span: u64, next: &mut dyn FnMut(()) -> u64) -> u64 {
+    debug_assert!(span > 0);
+    // Zone: the largest multiple of `span` that fits in u64.
+    let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+    loop {
+        let v = next(());
+        if v < zone || zone == 0 {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_u64(span, next) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every word is in range.
+                    return next(()) as $t;
+                }
+                lo + uniform_u64(span, next) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_int_range {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64(span, next) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as $u).wrapping_sub(lo as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    return next(()) as $t;
+                }
+                lo.wrapping_add(uniform_u64(span, next) as $t)
+            }
+        }
+    )*};
+}
+
+signed_int_range!(i64: u64, i32: u32, isize: usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample_standard(next);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from(self, next: &mut dyn FnMut(()) -> u64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let unit = f64::sample_standard(next);
+        lo + unit * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(0u64..=4);
+            assert!(y <= 4);
+            seen_lo |= y == 0;
+            seen_hi |= y == 4;
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds must be reachable");
+    }
+
+    #[test]
+    fn f64_range_scales() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0.05..0.5);
+            assert!((0.05..0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_rng_bound() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = sample(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (8_000..12_000).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+}
