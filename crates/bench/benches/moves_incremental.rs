@@ -1,0 +1,143 @@
+//! Full vs incremental move evaluation, the hot path of II and SA.
+//!
+//! Measures, per query size N ∈ {10, 20, 50, 100}:
+//!
+//! * **move evaluation** — apply a pre-sampled valid move, cost the
+//!   perturbed order, undo. `full` re-walks the whole order
+//!   ([`CostModel::order_cost_with`]); `incremental` uses the memoized
+//!   prefix state of [`IncrementalEvaluator`] (`eval_move` + `rollback`).
+//!   This isolates exactly the work the delta path saves.
+//! * **end-to-end II** — a complete `IterativeImprovement::run` at a fixed
+//!   unit budget with `full_eval` on vs off. Smaller ratio than the
+//!   eval-only numbers, since proposal validity checking (O(N) per
+//!   proposal) and commit work are unchanged.
+//!
+//! Writes the snapshot consumed by EXPERIMENTS.md to
+//! `BENCH_incremental.json` at the workspace root (override the location
+//! with `BENCH_INCREMENTAL_OUT`).
+
+use std::io::Write as _;
+
+use ljqo_bench::timing::{bench_ns, black_box};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ljqo::IterativeImprovement;
+use ljqo_cost::estimate::SizeWalker;
+use ljqo_cost::{CostModel, Estimator, Evaluator, IncrementalEvaluator, MemoryCostModel};
+use ljqo_plan::{random_valid_order, Move, MoveGenerator, MoveSet};
+use ljqo_workload::{generate_query, Benchmark};
+
+const SIZES: [usize; 4] = [10, 20, 50, 100];
+const MOVE_POOL: usize = 256;
+const II_BUDGET: u64 = 4_000;
+
+fn json_num(x: f64) -> ljqo_json::Value {
+    // Round to whole ns / 3 decimals so the snapshot stays readable.
+    ljqo_json::Value::Number((x * 1000.0).round() / 1000.0)
+}
+
+fn main() {
+    let model = MemoryCostModel::default();
+    let mut eval_rows: Vec<ljqo_json::Value> = Vec::new();
+    let mut e2e_rows: Vec<ljqo_json::Value> = Vec::new();
+
+    for &n in &SIZES {
+        let query = generate_query(&Benchmark::Default.spec(), n, 3);
+        let comp: Vec<_> = query.rel_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut order = random_valid_order(query.graph(), &comp, &mut rng);
+
+        // Pre-sample a pool of valid moves w.r.t. `order` (the II/SA move
+        // distribution), so the timed loops measure evaluation only — not
+        // proposal sampling or validity checking.
+        let mut gen = MoveGenerator::new(query.n_relations(), MoveSet::default());
+        let mut pool: Vec<Move> = Vec::with_capacity(MOVE_POOL);
+        while pool.len() < MOVE_POOL {
+            if let Some((mv, _)) = gen.propose_counted(query.graph(), &mut order, &mut rng) {
+                mv.undo(&mut order);
+                pool.push(mv);
+            }
+        }
+
+        let mut walker = SizeWalker::new(query.n_relations());
+        let mut i = 0usize;
+        let mut full_order = order.clone();
+        let full_ns = bench_ns(&format!("move_eval/full/{n}"), || {
+            let mv = pool[i % MOVE_POOL];
+            i += 1;
+            mv.apply(&mut full_order);
+            let c = model.order_cost_with(&query, full_order.rels(), &mut walker);
+            mv.undo(&mut full_order);
+            black_box(c)
+        });
+
+        let mut inc = IncrementalEvaluator::new(&query, &model, Estimator::Static, order.clone());
+        let mut j = 0usize;
+        let inc_ns = bench_ns(&format!("move_eval/incremental/{n}"), || {
+            let mv = pool[j % MOVE_POOL];
+            j += 1;
+            let c = inc.eval_move(&mv);
+            inc.rollback();
+            black_box(c)
+        });
+
+        let speedup = full_ns / inc_ns;
+        println!("move_eval/speedup/{n}{:>37.2}x", speedup);
+        eval_rows.push(ljqo_json::json!({
+            "n": n,
+            "full_ns_per_move": json_num(full_ns),
+            "incremental_ns_per_move": json_num(inc_ns),
+            "speedup": json_num(speedup),
+        }));
+
+        // End-to-end II at a fixed budget: same seeds, same unit charges,
+        // only the evaluation strategy differs.
+        let mut e2e = Vec::new();
+        for full_eval in [true, false] {
+            let ii = IterativeImprovement {
+                full_eval,
+                ..IterativeImprovement::default()
+            };
+            let label = if full_eval { "full" } else { "incremental" };
+            let ns = bench_ns(&format!("ii_run/{label}/{n}"), || {
+                let mut ev = Evaluator::with_budget(&query, &model, II_BUDGET);
+                let mut run_rng = SmallRng::seed_from_u64(7);
+                ii.run(&mut ev, &comp, &mut run_rng);
+                black_box(ev.best_cost())
+            });
+            e2e.push(ns);
+        }
+        let e2e_speedup = e2e[0] / e2e[1];
+        println!("ii_run/speedup/{n}{:>40.2}x", e2e_speedup);
+        e2e_rows.push(ljqo_json::json!({
+            "n": n,
+            "budget_units": II_BUDGET,
+            "full_ns_per_run": json_num(e2e[0]),
+            "incremental_ns_per_run": json_num(e2e[1]),
+            "speedup": json_num(e2e_speedup),
+        }));
+    }
+
+    let report = ljqo_json::json!({
+        "bench": "moves_incremental",
+        "description": "Full vs incremental (delta) move evaluation for the II/SA hot path",
+        "model": "memory",
+        "workload": "Benchmark::Default (random graphs), MoveSet::default() move pool",
+        "units": "ns (mean over the timing shim's batches)",
+        "move_evaluation": ljqo_json::Value::Array(eval_rows),
+        "end_to_end_ii": ljqo_json::Value::Array(e2e_rows),
+    });
+
+    let out = std::env::var("BENCH_INCREMENTAL_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_incremental.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let mut f = std::fs::File::create(&out).expect("create BENCH_incremental.json");
+    f.write_all(report.to_string_pretty().as_bytes())
+        .and_then(|_| f.write_all(b"\n"))
+        .expect("write BENCH_incremental.json");
+    println!("wrote {out}");
+}

@@ -10,7 +10,15 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Time `f` and print one line: `name  <mean> ns/iter (<iters> iters)`.
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) {
+    bench_ns(name, f);
+}
+
+/// As [`bench`](fn@bench), additionally returning the measured mean
+/// ns/iter (for
+/// benches that persist snapshots, e.g. `moves_incremental` writing
+/// `BENCH_incremental.json`).
+pub fn bench_ns<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     for _ in 0..3 {
         black_box(f());
     }
@@ -24,7 +32,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
         if elapsed >= Duration::from_millis(40) || iters >= (1 << 22) {
             let per = elapsed.as_nanos() as f64 / iters as f64;
             println!("{name:<44} {per:>14.0} ns/iter ({iters} iters)");
-            return;
+            return per;
         }
         iters = iters.saturating_mul(2);
     }

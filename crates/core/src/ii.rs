@@ -16,6 +16,8 @@ use ljqo_catalog::RelId;
 use ljqo_cost::Evaluator;
 use ljqo_plan::{random_valid_order, JoinOrder, MoveGenerator, MoveSet};
 
+use crate::movepath::MovePath;
+
 /// Iterative improvement parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterativeImprovement {
@@ -25,6 +27,14 @@ pub struct IterativeImprovement {
     /// ends after `max(32, fail_factor·n²)` consecutive failed moves.
     /// Larger values descend deeper but finish fewer runs per budget.
     pub fail_factor: f64,
+    /// Escape hatch: force from-scratch evaluation of every candidate
+    /// instead of the incremental (delta) path. The two agree to within
+    /// floating-point re-association noise (asserted in debug builds);
+    /// this flag exists for A/B measurement and for distrusting the
+    /// delta path in the field. Models with
+    /// [`supports_incremental`](ljqo_cost::CostModel::supports_incremental)
+    /// `() == false` always take the full path regardless.
+    pub full_eval: bool,
 }
 
 impl Default for IterativeImprovement {
@@ -32,6 +42,7 @@ impl Default for IterativeImprovement {
         IterativeImprovement {
             move_set: MoveSet::default(),
             fail_factor: 0.25,
+            full_eval: false,
         }
     }
 }
@@ -46,6 +57,10 @@ impl IterativeImprovement {
     /// One greedy descent from (and mutating) `order`. Returns the cost of
     /// the local minimum reached (or of the last state when the budget ran
     /// out first).
+    ///
+    /// Candidates are costed through the incremental (delta) path unless
+    /// [`IterativeImprovement::full_eval`] is set or the model opts out;
+    /// budget charges are identical either way (one unit per candidate).
     pub fn descend<R: Rng + ?Sized>(
         &self,
         ev: &mut Evaluator<'_>,
@@ -53,23 +68,25 @@ impl IterativeImprovement {
         order: &mut JoinOrder,
         rng: &mut R,
     ) -> f64 {
-        let mut current = ev.cost(order);
-        let fail_limit = self.fail_limit(order.len());
+        let start = std::mem::replace(order, JoinOrder::new(Vec::new()));
+        let (mut path, mut current) = MovePath::begin(ev, start, self.full_eval);
+        let fail_limit = self.fail_limit(path.order().len());
         let mut fails = 0u64;
         let graph = ev.query().graph();
         while fails < fail_limit && !ev.exhausted() {
-            let Some((mv, attempts)) = gen.propose_counted(graph, order, rng) else {
+            let Some((mv, attempts)) = gen.propose_counted(graph, path.order_mut(), rng) else {
                 break; // no perturbable neighborhood (tiny component)
             };
             // Rejected proposals each performed an O(N) validity check;
             // charge them like the paper's wall clock would.
             ev.charge(u64::from(attempts) - 1);
-            let candidate = ev.cost(order);
+            let candidate = path.cost_applied(ev, &mv);
             if candidate < current {
+                path.accept();
                 current = candidate;
                 fails = 0;
             } else {
-                mv.undo(order);
+                path.reject(&mv);
                 // Every sampled perturbation that failed to improve —
                 // including the validity-rejected ones — counts toward
                 // declaring a local minimum, mirroring the sampled
@@ -77,6 +94,7 @@ impl IterativeImprovement {
                 fails += u64::from(attempts);
             }
         }
+        *order = path.into_order();
         current
     }
 

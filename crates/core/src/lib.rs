@@ -61,6 +61,7 @@ mod error;
 pub mod eval;
 mod ii;
 mod methods;
+mod movepath;
 pub mod parallel;
 pub mod prelude;
 mod sa;

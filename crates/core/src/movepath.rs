@@ -1,0 +1,113 @@
+//! Shared move-evaluation path for the local-search methods.
+//!
+//! Iterative improvement and simulated annealing share the same inner
+//! loop: propose a move (applied in place by the generator), cost the
+//! perturbed order, then keep or undo it. [`MovePath`] abstracts the
+//! costing strategy behind that loop so both methods are written once and
+//! transparently use the incremental (delta) evaluator when the cost
+//! model permits it:
+//!
+//! * **Incremental** (default): per-prefix memoized state via
+//!   [`IncrementalEvaluator`]; a move is costed in `O(window)` instead of
+//!   `O(N)`.
+//! * **Full**: every candidate re-walks the whole order — used when the
+//!   caller forces it (the methods' `full_eval` escape hatch) or when the
+//!   model reports [`CostModel::supports_incremental`]`() == false`
+//!   (e.g. fault injectors that hook the whole-order evaluation).
+//!
+//! Both paths charge identical budget: one unit per candidate evaluation,
+//! because a unit prices a *candidate considered* (the paper's wall-clock
+//! analog), not the instructions spent computing it.
+//!
+//! [`CostModel::supports_incremental`]: ljqo_cost::CostModel::supports_incremental
+
+use ljqo_cost::{Evaluator, IncrementalEvaluator};
+use ljqo_plan::{JoinOrder, Move};
+
+/// A move-costing strategy over one evolving join order.
+// One MovePath lives on the stack per descent and is consumed at its
+// end; boxing the evaluator would only add indirection to the hot loop.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum MovePath<'a> {
+    /// Re-evaluate the full order for every candidate.
+    Full { order: JoinOrder },
+    /// Delta evaluation against memoized prefix state.
+    Inc { inc: IncrementalEvaluator<'a> },
+}
+
+impl<'a> MovePath<'a> {
+    /// Choose a path for `order`, evaluate it (charging one unit either
+    /// way), and return the path with the starting cost.
+    pub fn begin(ev: &mut Evaluator<'a>, order: JoinOrder, force_full: bool) -> (Self, f64) {
+        if force_full || !ev.model().supports_incremental() {
+            let cost = ev.cost(&order);
+            (MovePath::Full { order }, cost)
+        } else {
+            let inc = ev.begin_incremental(order);
+            let cost = inc.current_cost();
+            (MovePath::Inc { inc }, cost)
+        }
+    }
+
+    /// The current order (with a proposed move applied, if one is being
+    /// considered).
+    pub fn order(&self) -> &JoinOrder {
+        match self {
+            MovePath::Full { order } => order,
+            MovePath::Inc { inc } => inc.order(),
+        }
+    }
+
+    /// Mutable order access for the move generator (which applies
+    /// proposals in place).
+    pub fn order_mut(&mut self) -> &mut JoinOrder {
+        match self {
+            MovePath::Full { order } => order,
+            MovePath::Inc { inc } => inc.order_mut(),
+        }
+    }
+
+    /// Cost of the applied move `mv`, charging one budget unit and
+    /// updating the evaluator's best-so-far. Follow with
+    /// [`MovePath::accept`] or [`MovePath::reject`].
+    pub fn cost_applied(&mut self, ev: &mut Evaluator<'a>, mv: &Move) -> f64 {
+        match self {
+            MovePath::Full { order } => ev.cost(order),
+            MovePath::Inc { inc } => ev.cost_move(inc, mv),
+        }
+    }
+
+    /// Keep the evaluated move.
+    pub fn accept(&mut self) {
+        match self {
+            MovePath::Full { .. } => {}
+            MovePath::Inc { inc } => inc.commit(),
+        }
+    }
+
+    /// Undo the evaluated move.
+    pub fn reject(&mut self, mv: &Move) {
+        match self {
+            MovePath::Full { order } => mv.undo(order),
+            MovePath::Inc { inc } => inc.rollback(),
+        }
+    }
+
+    /// Replace the current order (a restart from a known state whose cost
+    /// was already paid for when it was first evaluated — no budget is
+    /// charged; the incremental path rebuilds its memoized state).
+    pub fn reset_to(&mut self, order: JoinOrder) {
+        match self {
+            MovePath::Full { order: o } => *o = order,
+            MovePath::Inc { inc } => inc.reset(order),
+        }
+    }
+
+    /// Consume the path, returning the final order.
+    pub fn into_order(self) -> JoinOrder {
+        match self {
+            MovePath::Full { order } => order,
+            MovePath::Inc { inc } => inc.into_order(),
+        }
+    }
+}

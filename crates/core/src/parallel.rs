@@ -28,6 +28,9 @@ pub struct ParallelResult {
     pub units_used: u64,
     /// Total evaluations across workers.
     pub n_evals: u64,
+    /// Evaluations that went through the incremental (delta) path, summed
+    /// across workers.
+    pub n_inc_evals: u64,
     /// Workers that died (panicked) before reporting a result. The run
     /// degrades to the survivors' best rather than propagating the panic.
     pub workers_failed: usize,
@@ -59,7 +62,7 @@ pub fn run_parallel(
     let workers = workers.max(1);
     let share = (budget / workers as u64).max(1);
 
-    type WorkerOutcome = (Option<(JoinOrder, f64)>, u64, u64);
+    type WorkerOutcome = (Option<(JoinOrder, f64)>, u64, u64, u64);
     let results: Vec<Option<WorkerOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -72,7 +75,7 @@ pub fn run_parallel(
                     };
                     runner.run(method, &mut ev, component, &mut rng);
                     let best = ev.best().map(|(o, c)| (o.clone(), c));
-                    (best, ev.used(), ev.n_evals())
+                    (best, ev.used(), ev.n_evals(), ev.n_inc_evals())
                 })
             })
             .collect();
@@ -86,15 +89,17 @@ pub fn run_parallel(
     let survivors: Vec<WorkerOutcome> = results.into_iter().flatten().collect();
     let units_used = survivors.iter().map(|r| r.1).sum();
     let n_evals = survivors.iter().map(|r| r.2).sum();
+    let n_inc_evals = survivors.iter().map(|r| r.3).sum();
     let (order, cost) = survivors
         .into_iter()
-        .filter_map(|(best, _, _)| best)
+        .filter_map(|(best, _, _, _)| best)
         .min_by(|a, b| a.1.total_cmp(&b.1))?;
     Some(ParallelResult {
         order,
         cost,
         units_used,
         n_evals,
+        n_inc_evals,
         workers_failed,
     })
 }

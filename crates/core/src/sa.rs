@@ -21,6 +21,8 @@ use ljqo_catalog::RelId;
 use ljqo_cost::Evaluator;
 use ljqo_plan::{random_valid_order, JoinOrder, MoveGenerator, MoveSet};
 
+use crate::movepath::MovePath;
+
 /// Simulated annealing parameters (defaults follow SG88 / JAMS87).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulatedAnnealing {
@@ -42,6 +44,10 @@ pub struct SimulatedAnnealing {
     /// Re-heat from the best state instead of stopping when frozen with
     /// budget to spare.
     pub restart_on_frozen: bool,
+    /// Escape hatch: force from-scratch evaluation of every candidate
+    /// instead of the incremental (delta) path. See
+    /// [`IterativeImprovement::full_eval`](crate::IterativeImprovement::full_eval).
+    pub full_eval: bool,
 }
 
 impl Default for SimulatedAnnealing {
@@ -54,6 +60,7 @@ impl Default for SimulatedAnnealing {
             frozen_chains: 5,
             min_accept_ratio: 0.02,
             restart_on_frozen: true,
+            full_eval: false,
         }
     }
 }
@@ -70,8 +77,7 @@ impl SimulatedAnnealing {
         start: &JoinOrder,
         rng: &mut R,
     ) -> f64 {
-        let mut order = start.clone();
-        let mut current = ev.cost(&order);
+        let (mut path, mut current) = MovePath::begin(ev, start.clone(), self.full_eval);
         let mut uphill_sum = 0.0f64;
         let mut uphill_n = 0u32;
         let graph = ev.query().graph();
@@ -79,17 +85,18 @@ impl SimulatedAnnealing {
             if ev.exhausted() {
                 break;
             }
-            let Some((_mv, attempts)) = gen.propose_counted(graph, &mut order, rng) else {
+            let Some((mv, attempts)) = gen.propose_counted(graph, path.order_mut(), rng) else {
                 break;
             };
             ev.charge(u64::from(attempts) - 1);
-            let c = ev.cost(&order);
+            let c = path.cost_applied(ev, &mv);
             let delta = c - current;
             if delta > 0.0 && delta.is_finite() {
                 uphill_sum += delta;
                 uphill_n += 1;
             }
-            current = c; // random walk: always accept during calibration
+            path.accept(); // random walk: always accept during calibration
+            current = c;
         }
         if uphill_n == 0 {
             return 1.0;
@@ -112,8 +119,7 @@ impl SimulatedAnnealing {
         let chain_length = (self.size_factor * n).max(4);
         let graph = ev.query().graph();
 
-        let mut order = start;
-        let mut current = ev.cost(&order);
+        let (mut path, mut current) = MovePath::begin(ev, start, self.full_eval);
         let mut temp = t0;
         let mut stale_chains = 0usize;
 
@@ -124,18 +130,19 @@ impl SimulatedAnnealing {
                 if ev.exhausted() {
                     break;
                 }
-                let Some((mv, attempts)) = gen.propose_counted(graph, &mut order, rng) else {
+                let Some((mv, attempts)) = gen.propose_counted(graph, path.order_mut(), rng) else {
                     break;
                 };
                 ev.charge(u64::from(attempts) - 1);
-                let candidate = ev.cost(&order);
+                let candidate = path.cost_applied(ev, &mv);
                 let delta = candidate - current;
                 let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
                 if accept {
+                    path.accept();
                     current = candidate;
                     accepted += 1;
                 } else {
-                    mv.undo(&mut order);
+                    path.reject(&mv);
                 }
             }
             temp *= self.cooling;
@@ -148,9 +155,13 @@ impl SimulatedAnnealing {
             }
             if stale_chains >= self.frozen_chains && collapsed {
                 if self.restart_on_frozen && !ev.exhausted() {
-                    // Re-heat from the best state found so far.
+                    // Re-heat from the best state found so far. Its cost
+                    // was already paid when it was first evaluated, so the
+                    // restart itself charges nothing (the incremental path
+                    // rebuilds its memoized state off-budget).
                     if let Some((best, best_cost)) = ev.best() {
-                        order = best.clone();
+                        let best = best.clone();
+                        path.reset_to(best);
                         current = best_cost;
                     }
                     temp = (t0 * 0.5).max(f64::MIN_POSITIVE);

@@ -35,6 +35,12 @@ pub struct Trace {
     pub final_cost: f64,
     /// Total units consumed.
     pub units_used: u64,
+    /// Plan evaluations performed (full and incremental).
+    pub n_evals: u64,
+    /// Evaluations that went through the incremental (delta) path —
+    /// `n_inc_evals / n_evals` is the fraction of the search that ran on
+    /// memoized prefix state.
+    pub n_inc_evals: u64,
 }
 
 impl Trace {
@@ -80,6 +86,8 @@ pub fn trace_run(
     let mut rng = SmallRng::seed_from_u64(seed);
     runner.run(method, &mut ev, component, &mut rng);
     let used = ev.used();
+    let n_evals = ev.n_evals();
+    let n_inc_evals = ev.n_inc_evals();
     let (_, final_cost, snaps) = ev.finish();
     Trace {
         method: method.name().to_string(),
@@ -92,6 +100,8 @@ pub fn trace_run(
             .collect(),
         final_cost,
         units_used: used,
+        n_evals,
+        n_inc_evals,
     }
 }
 

@@ -5,8 +5,10 @@ use ljqo_plan::JoinOrder;
 
 use crate::deadline::Deadline;
 use crate::estimate::SizeWalker;
+use crate::incremental::{Estimator, IncrementalEvaluator};
 use crate::model::CostModel;
 use crate::sanitize_cost;
+use ljqo_plan::Move;
 
 /// How many budget units may elapse between wall-clock reads when a
 /// [`Deadline`] is installed. Amortizes the cost of `Instant::now()` over
@@ -35,6 +37,30 @@ pub struct Snapshot {
 /// * Snapshots the best cost whenever consumption crosses one of the
 ///   configured checkpoints, so a single run yields the whole
 ///   quality-vs-time-limit curve the paper plots.
+///
+/// # Example: building a query and costing an order
+///
+/// ```
+/// use ljqo_catalog::QueryBuilder;
+/// use ljqo_cost::{Evaluator, MemoryCostModel};
+/// use ljqo_plan::JoinOrder;
+///
+/// let query = QueryBuilder::new()
+///     .relation("customer", 10_000)
+///     .relation("orders", 100_000)
+///     .relation("nation", 25)
+///     .join("customer", "orders", 0.0001)
+///     .join("customer", "nation", 0.04)
+///     .build()
+///     .unwrap();
+/// let model = MemoryCostModel::default();
+/// let mut ev = Evaluator::with_budget(&query, &model, 1_000);
+///
+/// let cost = ev.cost(&JoinOrder::identity(&query));
+/// assert!(cost.is_finite() && cost > 0.0);
+/// assert_eq!(ev.used(), 1); // one budget unit per evaluation
+/// assert_eq!(ev.best().unwrap().1, cost);
+/// ```
 pub struct Evaluator<'a> {
     query: &'a Query,
     model: &'a dyn CostModel,
@@ -42,6 +68,7 @@ pub struct Evaluator<'a> {
     limit: u64,
     used: u64,
     n_evals: u64,
+    n_inc_evals: u64,
     best_cost: f64,
     best_order: Option<JoinOrder>,
     checkpoints: Vec<u64>,
@@ -76,6 +103,7 @@ impl<'a> Evaluator<'a> {
             limit,
             used: 0,
             n_evals: 0,
+            n_inc_evals: 0,
             best_cost: f64::INFINITY,
             best_order: None,
             checkpoints: Vec::new(),
@@ -94,7 +122,7 @@ impl<'a> Evaluator<'a> {
     /// [`Evaluator::exhausted`] reports true as soon as *either* the
     /// budget runs out or the deadline passes. The clock is polled at an
     /// amortized interval, so expiry is noticed within
-    /// [`DEADLINE_POLL_UNITS`] charged units.
+    /// `DEADLINE_POLL_UNITS` (64) charged units.
     pub fn set_deadline(&mut self, deadline: Deadline) {
         self.deadline = Some(deadline);
         self.deadline_hit = deadline.expired();
@@ -169,6 +197,61 @@ impl<'a> Evaluator<'a> {
         c
     }
 
+    /// Start incremental evaluation of `order`: build the per-prefix
+    /// memoized state and record the order's cost like [`Evaluator::cost`]
+    /// would (one budget unit is charged for the initial full walk).
+    /// Subsequent moves are costed with [`Evaluator::cost_move`]; the
+    /// caller gets the order back with
+    /// [`IncrementalEvaluator::into_order`].
+    ///
+    /// Callers must check [`CostModel::supports_incremental`] first — a
+    /// model that overrides its order cost cannot be summed per step.
+    pub fn begin_incremental(&mut self, order: JoinOrder) -> IncrementalEvaluator<'a> {
+        debug_assert!(
+            self.model.supports_incremental(),
+            "model {} does not support incremental evaluation",
+            self.model.name()
+        );
+        self.charge(1);
+        let inc = IncrementalEvaluator::new(self.query, self.model, Estimator::Static, order);
+        let c = inc.current_cost();
+        self.n_evals += 1;
+        if c < self.best_cost {
+            self.best_cost = c;
+            self.best_order = Some(inc.order().clone());
+        }
+        inc
+    }
+
+    /// Evaluate the move `mv`, already applied to `inc`'s order (the move
+    /// generator applies proposals in place), re-costing only the
+    /// positions the move touches. Charges one budget unit — the budget
+    /// models the paper's wall clock, and one unit stays the price of one
+    /// candidate evaluation regardless of how cheaply it is computed — and
+    /// updates best-so-far exactly like [`Evaluator::cost`]. In debug
+    /// builds, asserts that the incremental cost agrees with a
+    /// from-scratch evaluation.
+    ///
+    /// The caller resolves the proposal with
+    /// [`IncrementalEvaluator::commit`] or
+    /// [`IncrementalEvaluator::rollback`].
+    pub fn cost_move(&mut self, inc: &mut IncrementalEvaluator<'a>, mv: &Move) -> f64 {
+        self.charge(1);
+        let c = inc.eval_applied(mv);
+        self.n_evals += 1;
+        self.n_inc_evals += 1;
+        debug_assert!(
+            crate::incremental::costs_agree(c, inc.full_eval()),
+            "incremental cost {c} diverged from full evaluation {} for {mv:?}",
+            inc.full_eval()
+        );
+        if c < self.best_cost {
+            self.best_cost = c;
+            self.best_order = Some(inc.order().clone());
+        }
+        c
+    }
+
     /// Evaluate without charging budget or updating best-so-far. For
     /// analysis and tests only — optimizers must use [`Evaluator::cost`].
     pub fn cost_uncharged(&mut self, order: &JoinOrder) -> f64 {
@@ -223,10 +306,17 @@ impl<'a> Evaluator<'a> {
         self.limit.saturating_sub(self.used)
     }
 
-    /// Number of full plan evaluations performed.
+    /// Number of plan evaluations performed (full and incremental).
     #[inline]
     pub fn n_evals(&self) -> u64 {
         self.n_evals
+    }
+
+    /// How many of the evaluations went through the incremental
+    /// (delta) path of [`Evaluator::cost_move`].
+    #[inline]
+    pub fn n_inc_evals(&self) -> u64 {
+        self.n_inc_evals
     }
 
     /// The best state evaluated so far, with its cost.

@@ -110,6 +110,13 @@ impl<M: CostModel> CostModel for FaultyCostModel<M> {
     fn lower_bound(&self, query: &Query, component: &[RelId]) -> f64 {
         self.inner.lower_bound(query, component)
     }
+
+    /// Fault injection hooks `order_cost_with`; an incremental evaluation
+    /// sums `join_cost` directly and would never trigger the fault, so this
+    /// model opts out and forces the full-evaluation path.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ mod disk;
 pub mod estimate;
 mod evaluator;
 mod fault;
+pub mod incremental;
 mod memory;
 mod model;
 mod multi;
@@ -41,6 +42,7 @@ pub use deadline::Deadline;
 pub use disk::DiskCostModel;
 pub use evaluator::{Evaluator, Snapshot};
 pub use fault::{FaultMode, FaultyCostModel};
+pub use incremental::{costs_agree, Estimator, IncrementalEvaluator};
 pub use memory::MemoryCostModel;
 pub use model::{CostModel, JoinCtx};
 pub use multi::{JoinMethod, MultiMethodCostModel};

@@ -68,6 +68,18 @@ pub trait CostModel: Sync {
     fn lower_bound(&self, _query: &Query, _component: &[RelId]) -> f64 {
         0.0
     }
+
+    /// Whether this model's order cost is the plain per-step sum of
+    /// [`CostModel::join_cost`], making it safe for
+    /// [`crate::IncrementalEvaluator`] to re-cost only the steps a move
+    /// changes. Models that override [`CostModel::order_cost_with`] with
+    /// anything other than that sum (e.g. fault injectors or models with
+    /// whole-plan terms) **must** return `false` here, or the incremental
+    /// path would silently bypass their override; the local-search methods
+    /// then fall back to full evaluation.
+    fn supports_incremental(&self) -> bool {
+        true
+    }
 }
 
 /// Shared helper for lower bounds: the final result size of a component

@@ -26,6 +26,7 @@
 use ljqo_catalog::{EdgeId, Query, RelId};
 
 use crate::estimate::{clamp_card, JoinStep};
+use crate::model::{CostModel, JoinCtx};
 
 /// Yao's approximation: expected distinct values in a column of `d`
 /// distinct values after sampling `rows` of its rows (uniformly).
@@ -39,12 +40,17 @@ fn yao(d: f64, rows: f64) -> f64 {
     (d * (1.0 - log_keep.exp())).clamp(1.0, d)
 }
 
-/// Left-deep size estimation with distinct-value propagation.
+/// The distinct-value bookkeeping of a partially built left-deep prefix.
 ///
-/// Mirrors [`crate::estimate::SizeWalker`]'s interface: `walk` invokes a
-/// callback per join step and returns the final cardinality.
-#[derive(Debug)]
-pub struct PropagatingWalker {
+/// This is the *state* half of [`PropagatingWalker`], split out so that
+/// incremental evaluators can snapshot it per prefix position (it is
+/// `Clone`) and resume a walk from the middle of an order. All mutation
+/// happens through [`DistinctState::admit_first`] and
+/// [`DistinctState::place`], which replay exactly the operations the
+/// consuming walker performs, so a resumed walk is bit-identical to a
+/// fresh one.
+#[derive(Debug, Clone)]
+pub struct DistinctState {
     /// Current distinct estimate per (edge, side-relation) column of the
     /// running intermediate; keyed densely by edge id with one slot per
     /// side. NaN = column not present yet.
@@ -52,10 +58,10 @@ pub struct PropagatingWalker {
     placed: Vec<bool>,
 }
 
-impl PropagatingWalker {
-    /// Create a walker for `query`.
+impl DistinctState {
+    /// Empty state for `query`: nothing placed, no columns present.
     pub fn new(query: &Query) -> Self {
-        PropagatingWalker {
+        DistinctState {
             distinct: vec![[f64::NAN; 2]; query.graph().edges().len()],
             placed: vec![false; query.n_relations()],
         }
@@ -86,6 +92,84 @@ impl PropagatingWalker {
         }
     }
 
+    /// Place the leading relation of an order (no join happens).
+    pub fn admit_first(&mut self, query: &Query, rel: RelId) {
+        self.admit(query, rel);
+    }
+
+    /// Combined selectivity of joining `inner` against the placed set,
+    /// using the *current* (propagated) distinct counts. `None` means no
+    /// edge connects `inner` to the placed set (cross product). Appends
+    /// the contributing edges with their distinct counts to `joined` for
+    /// a subsequent [`DistinctState::place`].
+    pub fn join_selectivity(
+        &self,
+        query: &Query,
+        inner: RelId,
+        joined: &mut Vec<(EdgeId, f64, f64)>,
+    ) -> Option<f64> {
+        let mut sel: Option<f64> = None;
+        for &eid in query.graph().incident(inner) {
+            let e = query.graph().edge(eid);
+            let Some(other) = e.other(inner) else {
+                continue;
+            };
+            if !self.placed[other.index()] {
+                continue;
+            }
+            let outer_side = Self::side(query, eid, other);
+            let d_outer = self.distinct[eid.index()][outer_side];
+            let d_inner = e.distinct_on(inner).unwrap_or(1.0);
+            let s = 1.0 / d_outer.max(d_inner).max(1.0);
+            *sel.get_or_insert(1.0) *= s;
+            joined.push((eid, d_outer, d_inner));
+        }
+        sel
+    }
+
+    /// Fold `inner` into the placed set after its join produced `output`
+    /// rows: admit its columns, intersect the equi-joined domains listed
+    /// in `joined` (as returned by [`DistinctState::join_selectivity`]),
+    /// and shrink every present column to the new row count.
+    pub fn place(
+        &mut self,
+        query: &Query,
+        inner: RelId,
+        output: f64,
+        joined: &[(EdgeId, f64, f64)],
+    ) {
+        self.admit(query, inner);
+        for &(eid, d_outer, d_inner) in joined {
+            // Equi-join intersects the two domains.
+            let merged = d_outer.min(d_inner);
+            self.distinct[eid.index()] = [
+                non_nan_min(self.distinct[eid.index()][0], merged),
+                non_nan_min(self.distinct[eid.index()][1], merged),
+            ];
+        }
+        self.shrink_all(output);
+    }
+}
+
+/// Left-deep size estimation with distinct-value propagation.
+///
+/// Mirrors [`crate::estimate::SizeWalker`]'s interface: `walk` invokes a
+/// callback per join step and returns the final cardinality. The
+/// underlying bookkeeping lives in [`DistinctState`], which incremental
+/// evaluators snapshot per prefix instead of re-walking from scratch.
+#[derive(Debug)]
+pub struct PropagatingWalker {
+    state: DistinctState,
+}
+
+impl PropagatingWalker {
+    /// Create a walker for `query`.
+    pub fn new(query: &Query) -> Self {
+        PropagatingWalker {
+            state: DistinctState::new(query),
+        }
+    }
+
     /// Walk `order`, calling `f` per join step; returns the final
     /// cardinality. The walker is consumed (create a fresh one per walk).
     pub fn walk<F: FnMut(&JoinStep)>(mut self, query: &Query, order: &[RelId], mut f: F) -> f64 {
@@ -93,30 +177,16 @@ impl PropagatingWalker {
         let Some(&first) = iter.next() else {
             return 0.0;
         };
-        self.admit(query, first);
+        self.state.admit_first(query, first);
         let mut card = clamp_card(query.cardinality(first));
+        let mut joined_edges: Vec<(EdgeId, f64, f64)> = Vec::new();
 
         for &inner in iter {
             let inner_card = query.cardinality(inner);
             // Gather the edges joining `inner` to the placed set, with the
             // CURRENT outer-side distinct counts.
-            let mut sel: Option<f64> = None;
-            let mut joined_edges: Vec<(EdgeId, f64, f64)> = Vec::new();
-            for &eid in query.graph().incident(inner) {
-                let e = query.graph().edge(eid);
-                let Some(other) = e.other(inner) else {
-                    continue;
-                };
-                if !self.placed[other.index()] {
-                    continue;
-                }
-                let outer_side = Self::side(query, eid, other);
-                let d_outer = self.distinct[eid.index()][outer_side];
-                let d_inner = e.distinct_on(inner).unwrap_or(1.0);
-                let s = 1.0 / d_outer.max(d_inner).max(1.0);
-                *sel.get_or_insert(1.0) *= s;
-                joined_edges.push((eid, d_outer, d_inner));
-            }
+            joined_edges.clear();
+            let sel = self.state.join_selectivity(query, inner, &mut joined_edges);
             let output = clamp_card(card * inner_card * sel.unwrap_or(1.0));
             f(&JoinStep {
                 inner,
@@ -127,16 +197,7 @@ impl PropagatingWalker {
             });
 
             // Admit the inner's columns, then update distinct counts.
-            self.admit(query, inner);
-            for (eid, d_outer, d_inner) in joined_edges {
-                // Equi-join intersects the two domains.
-                let merged = d_outer.min(d_inner);
-                self.distinct[eid.index()] = [
-                    non_nan_min(self.distinct[eid.index()][0], merged),
-                    non_nan_min(self.distinct[eid.index()][1], merged),
-                ];
-            }
-            self.shrink_all(output);
+            self.state.place(query, inner, output, &joined_edges);
             card = output;
         }
         card
@@ -150,6 +211,27 @@ fn non_nan_min(current: f64, merged: f64) -> f64 {
     } else {
         current.min(merged)
     }
+}
+
+/// Total cost of `order` under `model` using the *propagated* estimator
+/// (counterpart of [`CostModel::order_cost`], which uses the static
+/// one). This is the full-walk reference that
+/// [`crate::incremental::IncrementalEvaluator`] in propagated mode must
+/// agree with bit-for-bit.
+pub fn order_cost_propagated(query: &Query, model: &dyn CostModel, order: &[RelId]) -> f64 {
+    let mut total = 0.0f64;
+    let mut outer_rels = 1usize;
+    PropagatingWalker::new(query).walk(query, order, |s| {
+        total += model.join_cost(&JoinCtx {
+            outer_card: s.outer_card,
+            inner_card: s.inner_card,
+            output_card: s.output_card,
+            outer_rels,
+            is_cross_product: s.is_cross_product,
+        });
+        outer_rels += 1;
+    });
+    total.min(f64::MAX)
 }
 
 /// Estimated intermediate sizes with distinct propagation (counterpart of

@@ -29,6 +29,23 @@ pub enum MoveKind {
 }
 
 /// A concrete, reversible perturbation of a [`JoinOrder`].
+///
+/// # Example
+///
+/// ```
+/// use ljqo_catalog::RelId;
+/// use ljqo_plan::{JoinOrder, Move};
+///
+/// let mut order = JoinOrder::new(vec![RelId(0), RelId(1), RelId(2), RelId(3)]);
+/// let mv = Move::Reinsert { from: 3, to: 1 };
+/// mv.apply(&mut order);
+/// assert_eq!(order.rels(), &[RelId(0), RelId(3), RelId(1), RelId(2)]);
+///
+/// // Moves are reversible, and `dest` tracks where each position went.
+/// assert_eq!(mv.dest(3), 1);
+/// mv.undo(&mut order);
+/// assert_eq!(order.rels(), &[RelId(0), RelId(1), RelId(2), RelId(3)]);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Move {
     /// Exchange positions `i` and `j`.
@@ -84,6 +101,83 @@ impl Move {
             Move::Swap { i, j } => Move::Swap { i, j },
             Move::ThreeCycle { i, j, k } => Move::ThreeCycle { i: k, j, k: i },
             Move::Reinsert { from, to } => Move::Reinsert { from: to, to: from },
+        }
+    }
+
+    /// The first (lowest) position whose relation can change.
+    ///
+    /// Positions before `first_touched()` hold exactly the same relations
+    /// before and after the move, which is what makes incremental
+    /// (prefix-memoized) cost evaluation possible: the cost of the prefix
+    /// `[0, first_touched())` is unaffected by the move.
+    pub fn first_touched(&self) -> usize {
+        match *self {
+            Move::Swap { i, j } => i.min(j),
+            Move::ThreeCycle { i, j, k } => i.min(j).min(k),
+            Move::Reinsert { from, to } => from.min(to),
+        }
+    }
+
+    /// The last (highest) position whose relation can change.
+    ///
+    /// Every move permutes relations only within the *window*
+    /// `[first_touched(), last_touched()]`; positions after the window
+    /// keep both their relation and — because the set of earlier
+    /// relations is unchanged — their join statistics.
+    pub fn last_touched(&self) -> usize {
+        match *self {
+            Move::Swap { i, j } => i.max(j),
+            Move::ThreeCycle { i, j, k } => i.max(j).max(k),
+            Move::Reinsert { from, to } => from.max(to),
+        }
+    }
+
+    /// Where the relation at pre-move position `pos` ends up after the
+    /// move: `applied[dest(pos)] == original[pos]`.
+    ///
+    /// Positions outside the move's window map to themselves, so this
+    /// doubles as an O(1) "position in the perturbed order" oracle for
+    /// incremental evaluators that keep a position index of the
+    /// *unperturbed* order.
+    pub fn dest(&self, pos: usize) -> usize {
+        match *self {
+            Move::Swap { i, j } => {
+                if pos == i {
+                    j
+                } else if pos == j {
+                    i
+                } else {
+                    pos
+                }
+            }
+            // apply() rotates i -> j -> k -> i.
+            Move::ThreeCycle { i, j, k } => {
+                if pos == i {
+                    j
+                } else if pos == j {
+                    k
+                } else if pos == k {
+                    i
+                } else {
+                    pos
+                }
+            }
+            Move::Reinsert { from, to } => {
+                if pos == from {
+                    to
+                } else {
+                    // Removal at `from` shifts later positions down one;
+                    // insertion at `to` shifts positions at or after it up.
+                    let mut p = pos;
+                    if pos > from {
+                        p -= 1;
+                    }
+                    if p >= to {
+                        p += 1;
+                    }
+                    p
+                }
+            }
         }
     }
 
@@ -362,6 +456,69 @@ mod tests {
         let mv = gen.propose(&g, &mut order, &mut rng).unwrap();
         assert_eq!(mv, Move::Swap { i: 0, j: 1 });
         assert_eq!(order.rels(), &ids(&[1, 0])[..]);
+    }
+
+    #[test]
+    fn dest_maps_every_position_onto_the_applied_order() {
+        let moves = [
+            Move::Swap { i: 1, j: 1 },
+            Move::Swap { i: 0, j: 5 },
+            Move::Swap { i: 2, j: 3 },
+            Move::ThreeCycle { i: 0, j: 2, k: 4 },
+            Move::ThreeCycle { i: 5, j: 1, k: 3 },
+            Move::Reinsert { from: 0, to: 3 },
+            Move::Reinsert { from: 4, to: 1 },
+            Move::Reinsert { from: 5, to: 0 },
+            Move::Reinsert { from: 2, to: 5 },
+        ];
+        for mv in moves {
+            let before = JoinOrder::new(ids(&[0, 1, 2, 3, 4, 5]));
+            let mut after = before.clone();
+            mv.apply(&mut after);
+            let mut seen = [false; 6];
+            for p in 0..6 {
+                let d = mv.dest(p);
+                assert_eq!(
+                    after.at(d),
+                    before.at(p),
+                    "{mv:?}: dest({p}) = {d} must carry the same relation"
+                );
+                assert!(!seen[d], "{mv:?}: dest must be a bijection");
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn touched_window_bounds_all_changes() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let moves = MoveSet {
+            adjacent_swap: 1.0,
+            swap: 1.0,
+            three_cycle: 1.0,
+            reinsert: 1.0,
+        };
+        let gen = MoveGenerator::new(9, moves);
+        let before = JoinOrder::new(ids(&[0, 1, 2, 3, 4, 5, 6, 7, 8]));
+        for _ in 0..500 {
+            let mv = gen.sample_move(9, &mut rng);
+            let mut after = before.clone();
+            mv.apply(&mut after);
+            let (lo, hi) = (mv.first_touched(), mv.last_touched());
+            for p in 0..9 {
+                if p < lo || p > hi {
+                    assert_eq!(
+                        after.at(p),
+                        before.at(p),
+                        "{mv:?}: position {p} outside [{lo}, {hi}] must not change"
+                    );
+                }
+                assert!(
+                    (lo..=hi).contains(&mv.dest(p)) || mv.dest(p) == p,
+                    "{mv:?}: dest({p}) may only differ from {p} inside the window"
+                );
+            }
+        }
     }
 
     #[test]
