@@ -3,6 +3,7 @@
 //! ```text
 //! ljqo-opt QUERY.json [--method IAI] [--model memory|disk|multi]
 //!          [--tau 9] [--kappa 5] [--seed 0] [--deadline-ms N]
+//!          [--workers N] [--cooperate] [--portfolio]
 //!          [--json] [--all-methods]
 //! ```
 //!
@@ -11,6 +12,14 @@
 //! nine methods and prints a comparison table. `--deadline-ms` bounds the
 //! wall-clock time of the search; when it (or a fault in the search)
 //! forces a fallback plan, the degradation is reported in the output.
+//!
+//! Parallel search: `--workers N` fans each component's budget out over
+//! `N` worker threads (same total budget, wall-clock speedup only);
+//! `--portfolio` rotates the workers through the heterogeneous
+//! II/SA/AGI/KBI portfolio instead of cloning one method; `--cooperate`
+//! switches the workers from isolated (bit-deterministic) search to
+//! shared best-cost pruning, which is timing-dependent but never worse
+//! in plan quality at equal budget.
 //!
 //! Exit codes distinguish the error classes so scripts can react:
 //!
@@ -47,6 +56,9 @@ struct Options {
     kappa: f64,
     seed: u64,
     deadline_ms: Option<u64>,
+    workers: usize,
+    cooperate: bool,
+    portfolio: bool,
     json: bool,
     all_methods: bool,
 }
@@ -55,7 +67,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ljqo-opt QUERY.json [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI]\n\
          \x20                       [--model memory|disk|multi] [--tau F] [--kappa F]\n\
-         \x20                       [--seed U64] [--deadline-ms U64] [--json] [--all-methods]"
+         \x20                       [--seed U64] [--deadline-ms U64] [--workers N]\n\
+         \x20                       [--cooperate] [--portfolio] [--json] [--all-methods]"
     );
     std::process::exit(2);
 }
@@ -69,6 +82,9 @@ fn parse_args() -> Options {
         kappa: 5.0,
         seed: 0,
         deadline_ms: None,
+        workers: 1,
+        cooperate: false,
+        portfolio: false,
         json: false,
         all_methods: false,
     };
@@ -95,6 +111,15 @@ fn parse_args() -> Options {
             "--deadline-ms" => {
                 opts.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()));
             }
+            "--workers" => {
+                opts.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+                if opts.workers == 0 {
+                    eprintln!("error: --workers must be at least 1");
+                    usage()
+                }
+            }
+            "--cooperate" => opts.cooperate = true,
+            "--portfolio" => opts.portfolio = true,
             "--json" => opts.json = true,
             "--all-methods" => opts.all_methods = true,
             "--help" | "-h" => usage(),
@@ -113,7 +138,7 @@ fn parse_args() -> Options {
     opts
 }
 
-fn model_for(name: &str) -> Box<dyn CostModel> {
+fn model_for(name: &str) -> Box<dyn CostModel + Sync> {
     match name {
         "memory" => Box::new(MemoryCostModel::default()),
         "disk" => Box::new(DiskCostModel::default()),
@@ -192,7 +217,26 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let result = match try_optimize(&query, model.as_ref(), &config_for(opts.method)) {
+    let parallel = opts.workers > 1 || opts.portfolio || opts.cooperate;
+    let attempt = if parallel {
+        let mut parallelism = if opts.portfolio {
+            Parallelism::portfolio(opts.workers)
+        } else {
+            Parallelism::workers(opts.workers)
+        };
+        if opts.cooperate {
+            parallelism = parallelism.with_cooperation(Cooperation::SharedBest);
+        }
+        try_optimize_parallel(
+            &query,
+            model.as_ref(),
+            &config_for(opts.method),
+            &parallelism,
+        )
+    } else {
+        try_optimize(&query, model.as_ref(), &config_for(opts.method))
+    };
+    let result = match attempt {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -223,6 +267,10 @@ fn main() -> ExitCode {
             "degradation": result.degradation.label(),
             "degraded": result.degradation.is_degraded(),
             "deadline_expired": result.deadline_expired,
+            "workers": opts.workers as u64,
+            "portfolio": opts.portfolio,
+            "cooperate": opts.cooperate,
+            "workers_failed": result.workers_failed as u64,
         });
         println!("{}", out.to_string_pretty());
     } else {
@@ -238,6 +286,28 @@ fn main() -> ExitCode {
             "search effort: {} evaluations / {} budget units",
             result.n_evals, result.units_used
         );
+        if parallel {
+            println!(
+                "parallel search: {} workers{}{}",
+                opts.workers,
+                if opts.portfolio {
+                    " (II/SA/AGI/KBI portfolio)"
+                } else {
+                    ""
+                },
+                if opts.cooperate {
+                    ", cooperative shared-best pruning"
+                } else {
+                    ""
+                }
+            );
+        }
+        if result.workers_failed > 0 {
+            println!(
+                "notice: {} worker(s) failed and were isolated",
+                result.workers_failed
+            );
+        }
         if result.deadline_expired {
             println!("notice: wall-clock deadline expired during the search");
         }

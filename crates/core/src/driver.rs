@@ -14,7 +14,8 @@
 //! whenever one exists — flagged with the [`Degradation`] level reached.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -28,6 +29,7 @@ use ljqo_plan::{random_valid_order, JoinOrder, Plan};
 
 use crate::error::{Degradation, OptError};
 use crate::methods::{Method, MethodRunner};
+use crate::parallel::{run_portfolio, splitmix, ParallelOptions, Parallelism};
 
 /// Configuration for [`optimize`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,6 +125,9 @@ pub struct Optimized {
     pub degradation: Degradation,
     /// Whether the wall-clock deadline expired during the search.
     pub deadline_expired: bool,
+    /// Parallel workers that panicked and were isolated (always 0 for the
+    /// sequential [`try_optimize`] path; see [`try_optimize_parallel`]).
+    pub workers_failed: usize,
 }
 
 /// What planning one component produced, and how.
@@ -196,6 +201,21 @@ fn plan_component(
         }
     }
 
+    component_fallback(query, model, config, comp, rng, &mut outcome);
+    outcome
+}
+
+/// Rungs 2 and 3 of the fallback ladder (augmentation heuristic, then a
+/// random valid order), shared by the sequential and parallel drivers.
+/// Accumulates into `outcome` and stamps the degradation level reached.
+fn component_fallback(
+    query: &Query,
+    model: &dyn CostModel,
+    config: &OptimizerConfig,
+    comp: &[RelId],
+    rng: &mut SmallRng,
+    outcome: &mut ComponentOutcome,
+) {
     // Rung 2: the augmentation heuristic. Panic-isolated too — it reads
     // the same catalog statistics that may have upset the method.
     outcome.degradation = Degradation::Heuristic;
@@ -210,7 +230,7 @@ fn plan_component(
             outcome.units_used += comp.len() as u64 + 1;
             outcome.n_evals += 1;
             outcome.best = Some((order, cost));
-            return outcome;
+            return;
         }
     }
 
@@ -231,7 +251,6 @@ fn plan_component(
             outcome.best = Some((order, cost));
         }
     }
-    outcome
 }
 
 /// Optimize `query` under `model` with the given configuration,
@@ -293,18 +312,36 @@ pub fn try_optimize(
         segments.push((order, cost));
     }
 
-    // Cross products last, smallest component results first so the running
-    // outer operand stays as small as possible.
+    let (plan, total_cost) = assemble_plan(query, model, segments);
+    Ok(Optimized {
+        plan,
+        cost: total_cost,
+        units_used,
+        n_evals,
+        degradation,
+        deadline_expired,
+        workers_failed: 0,
+    })
+}
+
+/// Order the per-component segments (cross products last, smallest
+/// component results first so the running outer operand stays as small as
+/// possible) and price the assembled plan, cross products included.
+///
+/// The model is consulted once more here, so this is panic-isolated: a
+/// plan whose segments were rescued by the fallback ladder must not be
+/// lost to one last model fault while pricing the cross products.
+fn assemble_plan(
+    query: &Query,
+    model: &dyn CostModel,
+    mut segments: Vec<(JoinOrder, f64)>,
+) -> (Plan, f64) {
     segments.sort_by(|a, b| {
         let sa = final_result_size(query, a.0.rels());
         let sb = final_result_size(query, b.0.rels());
         sa.total_cmp(&sb)
     });
 
-    // Total cost including the cross products between segments. The model
-    // is consulted once more here, so this is panic-isolated as well: a
-    // plan whose segments were rescued by the ladder must not be lost to
-    // one last model fault while pricing the cross products.
     let total_cost = catch_unwind(AssertUnwindSafe(|| {
         let mut total: f64 = segments.iter().map(|&(_, c)| c).sum();
         let mut running = final_result_size(query, segments[0].0.rels());
@@ -324,16 +361,252 @@ pub fn try_optimize(
     }))
     .unwrap_or(f64::MAX);
 
+    let plan = Plan {
+        segments: segments.into_iter().map(|(o, _)| o).collect(),
+    };
+    (plan, total_cost)
+}
+
+/// [`try_optimize`], with each component searched by a parallel worker
+/// pool instead of one sequential method run.
+///
+/// Budget semantics match the sequential driver exactly: the same
+/// `τ·N²·κ` total is split across components by squared size, and each
+/// component's share is then sharded over `parallelism.workers` threads
+/// (see [`crate::parallel::shard_budget`]) — so a parallel run is
+/// comparable to a sequential run at the same budget, and under
+/// [`Cooperation::Isolated`](crate::Cooperation::Isolated) is
+/// bit-deterministic in `(seed, workers)`. With
+/// `parallelism.methods` non-empty, workers rotate through that
+/// portfolio instead of all running `config.method`.
+///
+/// Robustness: worker panics are isolated per worker (tallied in
+/// [`Optimized::workers_failed`]); a component whose *every* worker
+/// fails walks the same fallback ladder as the sequential driver
+/// (augmentation heuristic, then a random valid order), reported via
+/// [`Optimized::degradation`].
+pub fn try_optimize_parallel(
+    query: &Query,
+    model: &(dyn CostModel + Sync),
+    config: &OptimizerConfig,
+    parallelism: &Parallelism,
+) -> Result<Optimized, OptError> {
+    query.validate()?;
+    let components = query.graph().components();
+    let n = query.n_joins().max(1);
+    let total_budget = config.time_limit.units(n, config.kappa);
+
+    let weight_sum: u64 = components
+        .iter()
+        .map(|c| (c.len() * c.len()) as u64)
+        .sum::<u64>()
+        .max(1);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let methods: &[Method] = if parallelism.methods.is_empty() {
+        std::slice::from_ref(&config.method)
+    } else {
+        &parallelism.methods
+    };
+
+    let mut segments: Vec<(JoinOrder, f64)> = Vec::with_capacity(components.len());
+    let mut units_used = 0;
+    let mut n_evals = 0;
+    let mut degradation = Degradation::None;
+    let mut deadline_expired = false;
+    let mut workers_failed = 0;
+    for (idx, comp) in components.iter().enumerate() {
+        let share = total_budget.saturating_mul((comp.len() * comp.len()) as u64) / weight_sum;
+        let budget = share.max(4 * comp.len() as u64);
+        // Singleton components have exactly one (trivial) plan; spawning
+        // a worker pool for them would spend `workers` units on clones of
+        // the same evaluation.
+        let workers = if comp.len() == 1 {
+            1
+        } else {
+            parallelism.workers.max(1)
+        };
+        let mut opts = ParallelOptions::new(budget, workers, config.seed ^ splitmix(idx as u64))
+            .with_cooperation(parallelism.cooperation);
+        if let Some(deadline) = config.deadline {
+            opts = opts.with_deadline(deadline);
+        }
+        if let Some(eps) = config.early_stop {
+            let lb = model.lower_bound(query, comp);
+            if lb > 0.0 {
+                opts = opts.with_stop_threshold(lb * (1.0 + eps));
+            }
+        }
+        let parallel = run_portfolio(query, model, &config.runner, methods, comp, &opts);
+        let outcome = match parallel {
+            Some(r) if is_valid(query.graph(), r.order.rels()) => {
+                workers_failed += r.workers_failed;
+                if r.deadline_expired {
+                    deadline_expired = true;
+                }
+                ComponentOutcome {
+                    best: Some((r.order, r.cost)),
+                    units_used: r.units_used,
+                    n_evals: r.n_evals,
+                    deadline_expired: false,
+                    degradation: Degradation::None,
+                }
+            }
+            other => {
+                // Every worker panicked or the budget bought no state at
+                // all: fall down the sequential ladder.
+                if let Some(r) = other {
+                    workers_failed += r.workers_failed;
+                }
+                let mut outcome = ComponentOutcome {
+                    best: None,
+                    units_used: 0,
+                    n_evals: 0,
+                    deadline_expired: false,
+                    degradation: Degradation::None,
+                };
+                component_fallback(query, model, config, comp, &mut rng, &mut outcome);
+                outcome
+            }
+        };
+        units_used += outcome.units_used;
+        n_evals += outcome.n_evals;
+        degradation = degradation.max(outcome.degradation);
+        deadline_expired |= outcome.deadline_expired;
+        let Some((order, cost)) = outcome.best else {
+            return Err(OptError::NoValidPlan { component: idx });
+        };
+        segments.push((order, cost));
+    }
+
+    let (plan, total_cost) = assemble_plan(query, model, segments);
     Ok(Optimized {
-        plan: Plan {
-            segments: segments.into_iter().map(|(o, _)| o).collect(),
-        },
+        plan,
         cost: total_cost,
         units_used,
         n_evals,
         degradation,
         deadline_expired,
+        workers_failed,
     })
+}
+
+/// Options for [`optimize_batch`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Thread-pool size; `0` means [`std::thread::available_parallelism`]
+    /// (and never more threads than queries).
+    pub threads: usize,
+    /// Wall-clock deadline applied to each query individually, measured
+    /// from the moment a pool thread claims it. A query that trips its
+    /// deadline still returns the best (possibly degraded) plan found,
+    /// flagged via [`Optimized::deadline_expired`] /
+    /// [`Optimized::degradation`].
+    pub per_query_deadline: Option<Duration>,
+}
+
+/// Outcome of [`optimize_batch`]: per-query results in input order, plus
+/// aggregate degradation accounting for capacity planning.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One result per input query, in input order.
+    pub results: Vec<Result<Optimized, OptError>>,
+    /// Queries that produced no plan at all ([`OptError`]).
+    pub n_failed: usize,
+    /// Queries whose plan came from a fallback rung
+    /// ([`Degradation::is_degraded`]).
+    pub n_degraded: usize,
+    /// Queries whose per-query deadline expired during the search.
+    pub n_deadline_expired: usize,
+    /// Total budget units consumed across the batch.
+    pub units_used: u64,
+    /// End-to-end wall-clock time of the batch.
+    pub wall: Duration,
+}
+
+/// Optimize many queries on a thread pool — the throughput-oriented
+/// counterpart of the per-query drivers.
+///
+/// Threads claim queries from a shared work index (dynamic load
+/// balancing: a pathological query does not stall its neighbours, only
+/// its thread), and each query runs under the sequential
+/// [`try_optimize`] path with a per-query seed derived from
+/// `splitmix(config.seed ⊕ index)` — so results are deterministic in
+/// `(config, queries)` and independent of the thread count and of
+/// scheduling (deadline expiry aside). Per-query wall-clock deadlines
+/// and the fallback ladder bound tail latency; the [`BatchReport`]
+/// aggregates how often they were needed.
+pub fn optimize_batch(
+    queries: &[Query],
+    model: &(dyn CostModel + Sync),
+    config: &OptimizerConfig,
+    options: &BatchOptions,
+) -> BatchReport {
+    let started = Instant::now();
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        options.threads
+    }
+    .min(queries.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Result<Optimized, OptError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let mut cfg = *config;
+                        cfg.seed = splitmix(config.seed ^ i as u64);
+                        if let Some(d) = options.per_query_deadline {
+                            cfg.deadline = Some(Deadline::after(d));
+                        }
+                        let model: &dyn CostModel = model;
+                        out.push((i, try_optimize(&queries[i], model, &cfg)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("try_optimize is panic-isolated internally"))
+            .collect()
+    });
+    collected.sort_by_key(|&(i, _)| i);
+
+    let mut report = BatchReport {
+        results: Vec::with_capacity(queries.len()),
+        n_failed: 0,
+        n_degraded: 0,
+        n_deadline_expired: 0,
+        units_used: 0,
+        wall: Duration::ZERO,
+    };
+    for (_, result) in collected {
+        match &result {
+            Ok(r) => {
+                report.units_used += r.units_used;
+                if r.degradation.is_degraded() {
+                    report.n_degraded += 1;
+                }
+                if r.deadline_expired {
+                    report.n_deadline_expired += 1;
+                }
+            }
+            Err(_) => report.n_failed += 1,
+        }
+        report.results.push(result);
+    }
+    report.wall = started.elapsed();
+    report
 }
 
 #[cfg(test)]
@@ -469,6 +742,118 @@ mod tests {
         // The early-stopped plan is still valid and costed.
         assert!(is_valid(q.graph(), with.plan.segments[0].rels()));
         assert!(with.cost.is_finite());
+    }
+
+    #[test]
+    fn parallel_driver_is_deterministic_and_valid() {
+        let q = connected_query();
+        let model = MemoryCostModel::default();
+        let cfg = OptimizerConfig::new(Method::Ii).with_seed(21);
+        let par = Parallelism::workers(4);
+        let a = try_optimize_parallel(&q, &model, &cfg, &par).unwrap();
+        let b = try_optimize_parallel(&q, &model, &cfg, &par).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.units_used, b.units_used);
+        assert!(is_valid(q.graph(), a.plan.segments[0].rels()));
+        assert_eq!(a.workers_failed, 0);
+        assert!(!a.degradation.is_degraded());
+    }
+
+    #[test]
+    fn parallel_driver_handles_disconnected_queries() {
+        let q = disconnected_query();
+        let model = MemoryCostModel::default();
+        let cfg = OptimizerConfig::new(Method::Ii).with_seed(2);
+        let r = try_optimize_parallel(&q, &model, &cfg, &Parallelism::portfolio(4)).unwrap();
+        assert_eq!(r.plan.segments.len(), 3);
+        for seg in &r.plan.segments {
+            assert!(is_valid(q.graph(), seg.rels()), "{seg}");
+        }
+        assert!(r.cost.is_finite());
+    }
+
+    #[test]
+    fn parallel_driver_budget_is_comparable_to_sequential() {
+        // Sharding splits the same τ·N²·κ total, so a 4-worker run must
+        // not consume materially more than the sequential driver (only
+        // the bounded per-worker overrun differs).
+        let q = connected_query();
+        let model = MemoryCostModel::default();
+        let cfg = OptimizerConfig::new(Method::Ii).with_seed(13);
+        let seq = try_optimize(&q, &model, &cfg).unwrap();
+        let par = try_optimize_parallel(&q, &model, &cfg, &Parallelism::workers(4)).unwrap();
+        let slack = 4 * (64 + 4 * 5) as u64;
+        assert!(
+            par.units_used <= seq.units_used + slack,
+            "parallel {} vs sequential {}",
+            par.units_used,
+            seq.units_used
+        );
+    }
+
+    fn batch_queries() -> Vec<Query> {
+        (0..6u64)
+            .map(|i| {
+                QueryBuilder::new()
+                    .relation("a", 1000 + i * 37)
+                    .relation("b", 12 + i)
+                    .relation("c", 700 - i * 11)
+                    .relation("d", 55 + i * 3)
+                    .join("a", "b", 0.01)
+                    .join("b", "c", 0.002)
+                    .join("c", "d", 0.05)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_independent_of_thread_count() {
+        let queries = batch_queries();
+        let model = MemoryCostModel::default();
+        let cfg = OptimizerConfig::new(Method::Iai).with_seed(77);
+        let solo = optimize_batch(&queries, &model, &cfg, &BatchOptions::default());
+        let pooled = optimize_batch(
+            &queries,
+            &model,
+            &cfg,
+            &BatchOptions {
+                threads: 4,
+                per_query_deadline: None,
+            },
+        );
+        assert_eq!(solo.results.len(), queries.len());
+        assert_eq!(solo.n_failed, 0);
+        assert_eq!(pooled.n_failed, 0);
+        for (a, b) in solo.results.iter().zip(&pooled.results) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.units_used, b.units_used);
+        }
+        assert_eq!(solo.units_used, pooled.units_used);
+    }
+
+    #[test]
+    fn batch_queries_get_distinct_seeds() {
+        // Two identical queries in one batch must not be planned by the
+        // byte-identical search: per-query seeds are index-derived.
+        let q = connected_query();
+        let queries = vec![q.clone(), q];
+        let model = MemoryCostModel::default();
+        let cfg = OptimizerConfig::new(Method::Sa).with_seed(5);
+        let report = optimize_batch(&queries, &model, &cfg, &BatchOptions::default());
+        let (a, b) = (
+            report.results[0].as_ref().unwrap(),
+            report.results[1].as_ref().unwrap(),
+        );
+        // Same query, same budget — but independently seeded walks. Both
+        // must be valid; their unit spend tallies into the report.
+        assert!(a.cost.is_finite() && b.cost.is_finite());
+        assert_eq!(report.units_used, a.units_used + b.units_used);
+        assert!(report.wall > Duration::ZERO);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   components, budgets and optimizes each, and assembles a
 //!   [`Plan`](ljqo_plan::Plan) with
 //!   late cross products.
+//! * [`parallel`] — multicore extensions: isolated fan-out, cooperative
+//!   shared-best pruning ([`Cooperation`]), heterogeneous method
+//!   portfolios ([`parallel::PORTFOLIO`]), and the batched throughput
+//!   driver [`optimize_batch`].
 //! * [`dp`] — exact System-R-style dynamic programming over valid
 //!   left-deep trees, feasible only for small `N`; used as a test oracle
 //!   and a baseline.
@@ -68,10 +72,14 @@ mod sa;
 mod sampling;
 pub mod trace;
 
-pub use driver::{optimize, try_optimize, Optimized, OptimizerConfig};
+pub use driver::{
+    optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,
+    Optimized, OptimizerConfig,
+};
 pub use error::{Degradation, OptError};
 pub use ii::IterativeImprovement;
 pub use methods::{Method, MethodRunner};
+pub use parallel::{Cooperation, Parallelism};
 pub use sa::SimulatedAnnealing;
 pub use sampling::RandomSampling;
 

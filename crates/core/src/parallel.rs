@@ -1,21 +1,146 @@
-//! Parallel multi-start search — a modern extension.
+//! Parallel multi-start, cooperative, and portfolio search — a modern
+//! extension.
 //!
 //! The paper's methods are inherently multi-start (II restarts, the
-//! augmentation sweep); on 1988 hardware they ran sequentially under one
-//! clock. On a multicore machine the restarts are embarrassingly
-//! parallel: this module fans a method's budget out over worker threads,
-//! each running an independent deterministic search, and keeps the best
-//! result. Semantics: `run_parallel` with `k` workers and budget `B`
-//! consumes at most `B` total units (each worker gets `B/k`), so results
-//! are comparable to a sequential run at the same budget — the speedup
-//! is wall-clock only, exactly like giving the paper's optimizer `k`
-//! workstations.
+//! augmentation sweep, SA re-heats); on 1988 hardware they ran
+//! sequentially under one clock. On a multicore machine the restarts are
+//! embarrassingly parallel: this module fans a budget out over worker
+//! threads and keeps the best result. Semantics: a run with `k` workers
+//! and budget `B` *allots* at most `B` total units (worker `i` receives
+//! `⌊B/k⌋` plus one of the `B mod k` remainder units), so results are
+//! comparable to a sequential run at the same budget — the speedup is
+//! wall-clock only, exactly like giving the paper's optimizer `k`
+//! workstations. As everywhere else, a worker may overrun its share by
+//! one indivisible step (one heuristic generation or one move proposal
+//! with its validity-check retries).
+//!
+//! Three orthogonal extensions on top of the plain fan-out:
+//!
+//! * **Cooperation** ([`Cooperation`]): in [`Cooperation::SharedBest`]
+//!   mode every worker publishes its best cost to a lock-free
+//!   [`SharedBest`] cell and polls it on the evaluator's amortized
+//!   cadence. When a stop threshold is set, the first worker to reach it
+//!   winds *every* worker down — the cooperative analog of the paper's
+//!   "stop when sufficiently close to the lower bound".
+//! * **Portfolio** ([`run_portfolio`] with several methods): workers run
+//!   *heterogeneous* methods (the [`PORTFOLIO`] default rotates II, SA,
+//!   AGI, and KBZ-seeded II) instead of clones of one method, and the
+//!   best survivor wins. Complementary heuristics hedge each other:
+//!   augmentation-seeded workers dominate at small budgets, II/SA at
+//!   large ones.
+//! * **Batching**: [`crate::optimize_batch`] shards many *queries*
+//!   across a thread pool with per-query deadlines — throughput-oriented
+//!   parallelism one level above this module's latency-oriented kind.
+//!
+//! # Determinism
+//!
+//! [`Cooperation::Isolated`] (the default) is bit-deterministic in
+//! `(seed, workers)`: worker `i` uses seed `seed ⊕ splitmix(i+1)` and
+//! shares nothing, so results do not depend on scheduling.
+//! [`Cooperation::SharedBest`] is **timing-dependent** — which worker
+//! publishes first, and when others observe it, depends on the OS
+//! scheduler — but *quality-monotone*: until a wind-down triggers, every
+//! worker's search is unit-for-unit identical to its isolated twin, and
+//! a wind-down only fires once the configured quality bar is met. With
+//! no stop threshold configured, `SharedBest` returns exactly the
+//! isolated result.
 
 use ljqo_catalog::{Query, RelId};
-use ljqo_cost::{CostModel, Evaluator};
+use ljqo_cost::{CostModel, Deadline, Evaluator, SharedBest};
 use ljqo_plan::JoinOrder;
 
 use crate::methods::{Method, MethodRunner};
+
+/// How parallel workers interact during the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cooperation {
+    /// Workers share nothing. Bit-deterministic in `(seed, workers)`.
+    #[default]
+    Isolated,
+    /// Workers publish best costs to a [`SharedBest`] cell and poll it on
+    /// the evaluator's amortized cadence; any worker reaching the stop
+    /// threshold (see [`ParallelOptions::stop_threshold`]) winds every
+    /// worker down early. Timing-dependent but quality-monotone (see the
+    /// module docs).
+    SharedBest,
+}
+
+/// The default heterogeneous portfolio, ordered so small worker counts
+/// get the strongest complementary pair first: iterative improvement
+/// (the paper's best general technique), simulated annealing, the
+/// augmentation-first AGI (the paper's winner at small time limits), and
+/// KBZ-seeded II.
+pub const PORTFOLIO: [Method; 4] = [Method::Ii, Method::Sa, Method::Agi, Method::Kbi];
+
+/// Options for [`run_portfolio`] (and, via the compatibility wrapper,
+/// [`run_parallel`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Total budget units allotted across all workers.
+    pub budget: u64,
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Base RNG seed; worker `i` derives `seed ⊕ splitmix(i+1)`.
+    pub seed: u64,
+    /// Worker interaction mode.
+    pub cooperation: Cooperation,
+    /// Early-stop threshold installed in every worker's evaluator. Under
+    /// [`Cooperation::SharedBest`] this is also the global wind-down bar.
+    pub stop_threshold: Option<f64>,
+    /// Wall-clock deadline installed in every worker's evaluator.
+    pub deadline: Option<Deadline>,
+}
+
+impl ParallelOptions {
+    /// Isolated fan-out with no early stop and no deadline.
+    pub fn new(budget: u64, workers: usize, seed: u64) -> Self {
+        ParallelOptions {
+            budget,
+            workers,
+            seed,
+            cooperation: Cooperation::Isolated,
+            stop_threshold: None,
+            deadline: None,
+        }
+    }
+
+    /// Set the cooperation mode.
+    #[must_use]
+    pub fn with_cooperation(mut self, cooperation: Cooperation) -> Self {
+        self.cooperation = cooperation;
+        self
+    }
+
+    /// Install an early-stop threshold in every worker.
+    #[must_use]
+    pub fn with_stop_threshold(mut self, threshold: f64) -> Self {
+        self.stop_threshold = Some(threshold);
+        self
+    }
+
+    /// Install a wall-clock deadline in every worker.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Per-worker accounting of one parallel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerReport {
+    /// The method this worker ran.
+    pub method: Method,
+    /// The worker's own best cost (`None` if it was allotted no budget,
+    /// produced no state, or panicked).
+    pub best_cost: Option<f64>,
+    /// Budget units the worker consumed.
+    pub units_used: u64,
+    /// Plan evaluations the worker performed.
+    pub n_evals: u64,
+    /// Whether the worker died (panicked) before reporting.
+    pub panicked: bool,
+}
 
 /// Outcome of a parallel run.
 #[derive(Debug, Clone)]
@@ -24,6 +149,10 @@ pub struct ParallelResult {
     pub order: JoinOrder,
     /// Its cost.
     pub cost: f64,
+    /// The method run by the worker that produced the best order (always
+    /// the input method for homogeneous runs; informative under
+    /// portfolio mode).
+    pub method: Method,
     /// Total budget units consumed across workers.
     pub units_used: u64,
     /// Total evaluations across workers.
@@ -34,13 +163,38 @@ pub struct ParallelResult {
     /// Workers that died (panicked) before reporting a result. The run
     /// degrades to the survivors' best rather than propagating the panic.
     pub workers_failed: usize,
+    /// Whether any worker's wall-clock deadline expired during its search.
+    pub deadline_expired: bool,
+    /// Final value of the cooperative best-cost cell
+    /// (`Some` only under [`Cooperation::SharedBest`]). Never worse than
+    /// any worker's own best, including workers that panicked after
+    /// publishing.
+    pub shared_cost: Option<f64>,
+    /// One report per configured worker, in worker order.
+    pub per_worker: Vec<WorkerReport>,
+}
+
+/// Split `budget` into `workers` shares that sum to exactly `budget`:
+/// every worker gets `⌊budget/workers⌋` and the first `budget mod
+/// workers` workers get one remainder unit each. When
+/// `budget < workers`, trailing workers receive zero (and are not
+/// spawned by the runners) — the budget is *never* oversubscribed.
+pub fn shard_budget(budget: u64, workers: usize) -> Vec<u64> {
+    let workers = workers.max(1);
+    let base = budget / workers as u64;
+    let remainder = (budget % workers as u64) as usize;
+    (0..workers)
+        .map(|w| base + u64::from(w < remainder))
+        .collect()
 }
 
 /// Run `method` with `workers` independent deterministic searches over
-/// `component`, splitting `budget` evenly, and return the best result.
+/// `component`, splitting `budget` exactly (see [`shard_budget`]), and
+/// return the best result. Compatibility wrapper over [`run_portfolio`]
+/// with a homogeneous method list and [`Cooperation::Isolated`].
 ///
 /// Deterministic in `(seed, workers)`: worker `i` uses seed
-/// `seed ⊕ splitmix(i)`, so results do not depend on scheduling.
+/// `seed ⊕ splitmix(i+1)`, so results do not depend on scheduling.
 ///
 /// Workers are panic-isolated: a worker that panics (a buggy cost model,
 /// poisoned statistics) is counted in
@@ -59,15 +213,77 @@ pub fn run_parallel(
     workers: usize,
     seed: u64,
 ) -> Option<ParallelResult> {
-    let workers = workers.max(1);
-    let share = (budget / workers as u64).max(1);
+    run_portfolio(
+        query,
+        model,
+        runner,
+        &[method],
+        component,
+        &ParallelOptions::new(budget, workers, seed),
+    )
+}
 
-    type WorkerOutcome = (Option<(JoinOrder, f64)>, u64, u64, u64);
-    let results: Vec<Option<WorkerOutcome>> = std::thread::scope(|scope| {
+/// What one spawned worker reports back.
+type WorkerOutcome = (Option<(JoinOrder, f64)>, u64, u64, u64, bool);
+
+/// How one worker slot ended.
+enum Slot {
+    /// Allotted zero budget; never spawned.
+    Skipped,
+    /// Spawned but panicked before reporting.
+    Panicked,
+    /// Reported normally.
+    Done(WorkerOutcome),
+}
+
+/// Run a *portfolio* of methods over `component`: worker `i` runs
+/// `methods[i mod methods.len()]` under its budget share (see
+/// [`shard_budget`]), and the best state across workers wins. With a
+/// single-element `methods` this is plain homogeneous fan-out
+/// ([`run_parallel`]).
+///
+/// Cooperation, early stopping, and deadlines are configured via
+/// [`ParallelOptions`]; panic isolation and the `None` contract match
+/// [`run_parallel`]. Ties between workers are broken toward the lowest
+/// worker index, which keeps [`Cooperation::Isolated`] runs
+/// bit-deterministic in `(seed, workers)`.
+pub fn run_portfolio(
+    query: &Query,
+    model: &(dyn CostModel + Sync),
+    runner: &MethodRunner,
+    methods: &[Method],
+    component: &[RelId],
+    opts: &ParallelOptions,
+) -> Option<ParallelResult> {
+    assert!(!methods.is_empty(), "portfolio needs at least one method");
+    let workers = opts.workers.max(1);
+    let shares = shard_budget(opts.budget, workers);
+    let shared = match opts.cooperation {
+        Cooperation::Isolated => None,
+        Cooperation::SharedBest => Some(SharedBest::new()),
+    };
+    let (seed, stop_threshold, deadline) = (opts.seed, opts.stop_threshold, opts.deadline);
+
+    let slots: Vec<(Method, Slot)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                scope.spawn(move || {
+                let method = methods[w % methods.len()];
+                let share = shares[w];
+                if share == 0 {
+                    return (method, None);
+                }
+                let shared = shared.clone();
+                let handle = scope.spawn(move || {
                     let mut ev = Evaluator::with_budget(query, model, share);
+                    if let Some(d) = deadline {
+                        ev.set_deadline(d);
+                    }
+                    if let Some(t) = stop_threshold {
+                        ev.set_stop_threshold(t);
+                    }
+                    if let Some(s) = shared {
+                        ev.set_shared_best(s);
+                    }
                     let worker_seed = seed ^ splitmix(w as u64 + 1);
                     let mut rng = {
                         use rand::SeedableRng;
@@ -75,37 +291,140 @@ pub fn run_parallel(
                     };
                     runner.run(method, &mut ev, component, &mut rng);
                     let best = ev.best().map(|(o, c)| (o.clone(), c));
-                    (best, ev.used(), ev.n_evals(), ev.n_inc_evals())
-                })
+                    (
+                        best,
+                        ev.used(),
+                        ev.n_evals(),
+                        ev.n_inc_evals(),
+                        ev.deadline_expired(),
+                    )
+                });
+                (method, Some(handle))
             })
             .collect();
         // A panicked worker surfaces as `Err` from `join`; swallowing it
         // here (rather than propagating) is the isolation boundary. Its
         // partial spend dies with its evaluator and is reported as zero.
-        handles.into_iter().map(|h| h.join().ok()).collect()
+        handles
+            .into_iter()
+            .map(|(method, handle)| {
+                let slot = match handle {
+                    None => Slot::Skipped,
+                    Some(h) => match h.join() {
+                        Ok(outcome) => Slot::Done(outcome),
+                        Err(_) => Slot::Panicked,
+                    },
+                };
+                (method, slot)
+            })
+            .collect()
     });
 
-    let workers_failed = results.iter().filter(|r| r.is_none()).count();
-    let survivors: Vec<WorkerOutcome> = results.into_iter().flatten().collect();
-    let units_used = survivors.iter().map(|r| r.1).sum();
-    let n_evals = survivors.iter().map(|r| r.2).sum();
-    let n_inc_evals = survivors.iter().map(|r| r.3).sum();
-    let (order, cost) = survivors
-        .into_iter()
-        .filter_map(|(best, _, _, _)| best)
-        .min_by(|a, b| a.1.total_cmp(&b.1))?;
+    let mut per_worker = Vec::with_capacity(workers);
+    let mut workers_failed = 0usize;
+    let mut units_used = 0u64;
+    let mut n_evals = 0u64;
+    let mut n_inc_evals = 0u64;
+    let mut deadline_expired = false;
+    let mut winner: Option<(JoinOrder, f64, Method)> = None;
+    for (method, slot) in slots {
+        match slot {
+            Slot::Skipped => per_worker.push(WorkerReport {
+                method,
+                best_cost: None,
+                units_used: 0,
+                n_evals: 0,
+                panicked: false,
+            }),
+            Slot::Panicked => {
+                workers_failed += 1;
+                per_worker.push(WorkerReport {
+                    method,
+                    best_cost: None,
+                    units_used: 0,
+                    n_evals: 0,
+                    panicked: true,
+                });
+            }
+            Slot::Done((best, used, evals, inc_evals, hit_deadline)) => {
+                units_used += used;
+                n_evals += evals;
+                n_inc_evals += inc_evals;
+                deadline_expired |= hit_deadline;
+                per_worker.push(WorkerReport {
+                    method,
+                    best_cost: best.as_ref().map(|&(_, c)| c),
+                    units_used: used,
+                    n_evals: evals,
+                    panicked: false,
+                });
+                if let Some((order, cost)) = best {
+                    // Strict `<` breaks ties toward the lowest worker index.
+                    if winner.as_ref().is_none_or(|&(_, c, _)| cost < c) {
+                        winner = Some((order, cost, method));
+                    }
+                }
+            }
+        }
+    }
+    let (order, cost, method) = winner?;
     Some(ParallelResult {
         order,
         cost,
+        method,
         units_used,
         n_evals,
         n_inc_evals,
         workers_failed,
+        deadline_expired,
+        shared_cost: shared.map(|s| s.get()),
+        per_worker,
     })
 }
 
+/// Parallel-search configuration for the driver-level entry point
+/// [`crate::try_optimize_parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads per component (clamped to at least 1).
+    pub workers: usize,
+    /// Worker interaction mode.
+    pub cooperation: Cooperation,
+    /// Methods rotated across workers; empty means "the configured
+    /// method on every worker" (homogeneous fan-out). Use
+    /// [`Parallelism::portfolio`] for the [`PORTFOLIO`] default.
+    pub methods: Vec<Method>,
+}
+
+impl Parallelism {
+    /// Homogeneous isolated fan-out over `workers` threads.
+    pub fn workers(workers: usize) -> Self {
+        Parallelism {
+            workers,
+            cooperation: Cooperation::Isolated,
+            methods: Vec::new(),
+        }
+    }
+
+    /// The default heterogeneous portfolio over `workers` threads.
+    pub fn portfolio(workers: usize) -> Self {
+        Parallelism {
+            workers,
+            cooperation: Cooperation::Isolated,
+            methods: PORTFOLIO.to_vec(),
+        }
+    }
+
+    /// Set the cooperation mode.
+    #[must_use]
+    pub fn with_cooperation(mut self, cooperation: Cooperation) -> Self {
+        self.cooperation = cooperation;
+        self
+    }
+}
+
 /// SplitMix64 finalizer, used to derive independent worker seeds.
-fn splitmix(mut x: u64) -> u64 {
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -147,9 +466,67 @@ mod tests {
         assert_eq!(a.order, b.order);
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.units_used, b.units_used);
+        assert_eq!(a.method, Method::Ii);
         assert!(is_valid(q.graph(), a.order.rels()));
         // Each worker may overrun its share by one indivisible step.
         assert!(a.units_used <= 4_000 + 4 * (64 + 4 * 6 + 7));
+    }
+
+    #[test]
+    fn shard_budget_conserves_and_spreads_the_remainder() {
+        // budget = 100, workers = 8: 4 workers of 13, 4 of 12 — no unit
+        // dropped (the old `(budget / workers).max(1)` handed out 8 × 12
+        // and silently lost 4).
+        assert_eq!(shard_budget(100, 8), vec![13, 13, 13, 13, 12, 12, 12, 12]);
+        // budget < workers: first `budget` workers get one unit, the rest
+        // get zero — never `workers` units against a budget of less.
+        assert_eq!(shard_budget(3, 8), vec![1, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(shard_budget(0, 4), vec![0, 0, 0, 0]);
+        for (budget, workers) in [(1u64, 1usize), (7, 3), (64, 64), (1000, 7), (5, 9)] {
+            let shares = shard_budget(budget, workers);
+            assert_eq!(shares.iter().sum::<u64>(), budget, "{budget}/{workers}");
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "{budget}/{workers}: uneven {shares:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_is_never_oversubscribed() {
+        // Regression: budget 3 over 8 workers used to allot max(3/8,1) = 1
+        // unit to *each* worker, spending up to 8 units against a budget
+        // of 3. Now only the first 3 workers run, one unit each.
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        let r = run_parallel(&q, &model, &runner, Method::Ii, &comp, 3, 8, 5).unwrap();
+        assert!(
+            r.units_used <= 3,
+            "budget 3 oversubscribed: {} units spent",
+            r.units_used
+        );
+        assert!(r.cost.is_finite());
+        let active = r.per_worker.iter().filter(|w| w.units_used > 0).count();
+        assert_eq!(active, 3);
+    }
+
+    #[test]
+    fn remainder_units_are_distributed_not_dropped() {
+        // Regression: budget 100 over 8 workers used to hand out only
+        // 12 × 8 = 96 units. II runs until exhaustion, so the full 100
+        // allotted units must now be consumed (up to per-worker overrun).
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        let r = run_parallel(&q, &model, &runner, Method::Ii, &comp, 100, 8, 5).unwrap();
+        assert!(
+            r.units_used >= 100,
+            "remainder dropped: only {} of 100 units consumed",
+            r.units_used
+        );
+        let slack = 8 * (64 + 4 * 6);
+        assert!(r.units_used <= 100 + slack);
     }
 
     #[test]
@@ -174,5 +551,107 @@ mod tests {
         let runner = MethodRunner::default();
         let r = run_parallel(&q, &model, &runner, Method::Agi, &comp, 1_000, 0, 1).unwrap();
         assert!(r.cost.is_finite());
+    }
+
+    #[test]
+    fn shared_best_without_threshold_matches_isolated_exactly() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        let base = ParallelOptions::new(4_000, 4, 9);
+        let iso = run_portfolio(&q, &model, &runner, &[Method::Ii], &comp, &base).unwrap();
+        let coop = run_portfolio(
+            &q,
+            &model,
+            &runner,
+            &[Method::Ii],
+            &comp,
+            &base.with_cooperation(Cooperation::SharedBest),
+        )
+        .unwrap();
+        // With no stop threshold, cooperation only observes — every
+        // worker's search is bit-identical to its isolated twin.
+        assert_eq!(iso.order, coop.order);
+        assert_eq!(iso.cost, coop.cost);
+        assert_eq!(iso.units_used, coop.units_used);
+        // The shared cell ends at the winning cost, never worse than any
+        // worker's own best.
+        let shared = coop.shared_cost.unwrap();
+        assert_eq!(shared, coop.cost);
+        for w in &coop.per_worker {
+            if let Some(c) = w.best_cost {
+                assert!(shared <= c);
+            }
+        }
+        assert!(iso.shared_cost.is_none());
+    }
+
+    #[test]
+    fn shared_best_winddown_saves_budget() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        // A generous threshold every descent reaches quickly: the cost of
+        // the best augmentation state times 4 (II descends well below it).
+        let mut pilot = Evaluator::new(&q, &model);
+        let firsts = ljqo_heuristics::AugmentationHeuristic::first_relations(&q, &comp);
+        let pilot_order = runner.augmentation.generate(&q, &comp, firsts[0]);
+        let threshold = pilot.cost(&pilot_order) * 4.0;
+        let base = ParallelOptions::new(400_000, 4, 9).with_stop_threshold(threshold);
+        let iso = run_portfolio(&q, &model, &runner, &[Method::Ii], &comp, &base).unwrap();
+        let coop = run_portfolio(
+            &q,
+            &model,
+            &runner,
+            &[Method::Ii],
+            &comp,
+            &base.with_cooperation(Cooperation::SharedBest),
+        )
+        .unwrap();
+        // Both runs reach the quality bar...
+        assert!(iso.cost <= threshold);
+        assert!(coop.cost <= threshold);
+        // ...and the cooperative run never spends more than the isolated
+        // one (a worker stops at its own bar in both modes; cooperation
+        // can only stop *earlier* on a foreign publish).
+        assert!(
+            coop.units_used <= iso.units_used,
+            "coop {} > iso {}",
+            coop.units_used,
+            iso.units_used
+        );
+    }
+
+    #[test]
+    fn portfolio_rotates_methods_and_reports_the_winner() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        let r = run_portfolio(
+            &q,
+            &model,
+            &runner,
+            &PORTFOLIO,
+            &comp,
+            &ParallelOptions::new(8_000, 6, 3),
+        )
+        .unwrap();
+        assert!(is_valid(q.graph(), r.order.rels()));
+        assert_eq!(r.per_worker.len(), 6);
+        for (w, report) in r.per_worker.iter().enumerate() {
+            assert_eq!(report.method, PORTFOLIO[w % PORTFOLIO.len()]);
+            assert!(report.best_cost.is_some());
+        }
+        assert!(PORTFOLIO.contains(&r.method));
+        // The portfolio's winner is the minimum across workers.
+        let min = r
+            .per_worker
+            .iter()
+            .filter_map(|w| w.best_cost)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(r.cost, min);
     }
 }

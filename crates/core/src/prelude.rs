@@ -7,9 +7,15 @@
 pub use crate::bushy::{optimal_bushy_dp, BushyTree};
 pub use crate::dp::{optimal_order_dp, optimal_order_exhaustive};
 pub use crate::eval::{mean_scaled_cost, per_query_best, scaled_cost, OUTLIER_CAP};
-pub use crate::parallel::{run_parallel, ParallelResult};
+pub use crate::parallel::{
+    run_parallel, run_portfolio, shard_budget, Cooperation, ParallelOptions, ParallelResult,
+    Parallelism, WorkerReport, PORTFOLIO,
+};
 pub use crate::trace::{trace_run, Trace, TracePoint};
-pub use crate::{optimize, try_optimize, Degradation, OptError, Optimized, OptimizerConfig};
+pub use crate::{
+    optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,
+    Degradation, OptError, Optimized, OptimizerConfig,
+};
 pub use crate::{IterativeImprovement, Method, MethodRunner, RandomSampling, SimulatedAnnealing};
 
 pub use ljqo_catalog::{CatalogError, JoinEdge, JoinGraph, Query, QueryBuilder, RelId, Relation};

@@ -70,14 +70,23 @@ impl SimulatedAnnealing {
     /// `T₀ = mean(uphill Δ) / −ln(p₀)` makes the average uphill move
     /// acceptable with probability `p₀`. Consumes budget like any other
     /// search work.
-    fn initial_temperature<R: Rng + ?Sized>(
+    ///
+    /// Returns `(T₀, path, start_cost)` with the move path reset to
+    /// `start` so the annealing loop can continue on the same evaluated
+    /// state. Returning the path matters for accounting: the old shape
+    /// ([`MovePath::begin`] here *and again* in [`anneal`]) charged the
+    /// start state twice — one wasted budget unit and a duplicate
+    /// evaluation on every SA run.
+    fn initial_temperature<'a, R: Rng + ?Sized>(
         &self,
-        ev: &mut Evaluator<'_>,
+        ev: &mut Evaluator<'a>,
         gen: &mut MoveGenerator,
-        start: &JoinOrder,
+        start: JoinOrder,
         rng: &mut R,
-    ) -> f64 {
-        let (mut path, mut current) = MovePath::begin(ev, start.clone(), self.full_eval);
+    ) -> (f64, MovePath<'a>, f64) {
+        let home = start.clone();
+        let (mut path, start_cost) = MovePath::begin(ev, start, self.full_eval);
+        let mut current = start_cost;
         let mut uphill_sum = 0.0f64;
         let mut uphill_n = 0u32;
         let graph = ev.query().graph();
@@ -98,11 +107,15 @@ impl SimulatedAnnealing {
             path.accept(); // random walk: always accept during calibration
             current = c;
         }
-        if uphill_n == 0 {
-            return 1.0;
-        }
-        let mean = uphill_sum / uphill_n as f64;
-        mean / -(self.init_accept.ln())
+        // Walk back to the start state; its cost was paid by `begin`, so
+        // the reset is free (see [`MovePath::reset_to`]).
+        path.reset_to(home);
+        let t0 = if uphill_n == 0 {
+            1.0
+        } else {
+            (uphill_sum / uphill_n as f64) / -(self.init_accept.ln())
+        };
+        (t0, path, start_cost)
     }
 
     /// Run annealing from `start` until frozen (and out of restarts) or the
@@ -115,11 +128,10 @@ impl SimulatedAnnealing {
             return;
         }
         let mut gen = MoveGenerator::new(ev.query().n_relations(), self.move_set);
-        let t0 = self.initial_temperature(ev, &mut gen, &start, rng);
+        let (t0, mut path, mut current) = self.initial_temperature(ev, &mut gen, start, rng);
         let chain_length = (self.size_factor * n).max(4);
         let graph = ev.query().graph();
 
-        let (mut path, mut current) = MovePath::begin(ev, start, self.full_eval);
         let mut temp = t0;
         let mut stale_chains = 0usize;
 
@@ -266,7 +278,29 @@ mod tests {
         let sa = SimulatedAnnealing::default();
         let mut gen = MoveGenerator::new(q.n_relations(), sa.move_set);
         let start = random_valid_order(q.graph(), &comp, &mut rng);
-        let t0 = sa.initial_temperature(&mut ev, &mut gen, &start, &mut rng);
+        let (t0, path, start_cost) =
+            sa.initial_temperature(&mut ev, &mut gen, start.clone(), &mut rng);
         assert!(t0.is_finite() && t0 > 0.0);
+        assert!(start_cost.is_finite());
+        // The path comes back parked on the start state, ready to anneal.
+        assert_eq!(path.order(), &start);
+    }
+
+    #[test]
+    fn start_state_is_charged_exactly_once() {
+        // Regression: temperature calibration opened a MovePath on the
+        // start state and `anneal` then opened a second one on the same
+        // state — charging the start twice. With a budget of one unit the
+        // whole run now performs exactly one evaluation (the start) and
+        // stops, instead of spending a unit it never had.
+        let q = chain_query();
+        let model = MemoryCostModel::default();
+        let mut ev = Evaluator::with_budget(&q, &model, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        SimulatedAnnealing::default().run(&mut ev, &comp, &mut rng);
+        assert_eq!(ev.used(), 1);
+        assert_eq!(ev.n_evals(), 1);
+        assert!(ev.best().is_some());
     }
 }

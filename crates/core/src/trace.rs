@@ -54,9 +54,12 @@ impl Trace {
     }
 }
 
-/// Run `method` on the (single-component) `query` with `resolution`
-/// evenly spaced checkpoints up to the time limit, returning the
-/// trajectory.
+/// Run `method` on the (single-component) `query` with up to
+/// `resolution` evenly spaced checkpoints up to the time limit,
+/// returning the trajectory. When the budget is smaller than the
+/// resolution, the grid degrades gracefully to one checkpoint per unit
+/// (duplicates and the zero point are dropped) instead of emitting
+/// duplicate or zero checkpoints.
 ///
 /// Panics if the query's join graph is disconnected (trace one component
 /// at a time).
@@ -77,9 +80,16 @@ pub fn trace_run(
 
     let budget = time_limit.units(query.n_joins().max(1), kappa);
     let resolution = resolution.max(2) as u64;
-    let checkpoints: Vec<u64> = (1..=resolution)
-        .map(|i| (budget * i) / resolution)
+    // The multiply is widened to u128: `budget * i` overflows u64 for
+    // budgets past `u64::MAX / resolution` (τ ≈ 1e17 at N = 10 already
+    // crosses it), which used to scramble the grid into nonsense.
+    let mut checkpoints: Vec<u64> = (1..=resolution)
+        .map(|i| ((budget as u128 * i as u128) / resolution as u128) as u64)
+        .filter(|&units| units > 0)
         .collect();
+    // For budgets below the resolution the division floors several grid
+    // indices onto the same unit; keep each once.
+    checkpoints.dedup();
 
     let mut ev = Evaluator::with_budget(query, model, budget);
     ev.set_checkpoints(checkpoints);
@@ -169,6 +179,59 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("units,best_cost\n"));
         assert_eq!(csv.lines().count(), 9);
+    }
+
+    #[test]
+    fn tiny_budget_grid_has_no_duplicate_or_zero_checkpoints() {
+        // Regression: budget 4 at resolution 32 used to produce a grid
+        // full of zeros and duplicates (⌊4·i/32⌋ repeats each value 8
+        // times); the evaluator then recorded fewer meaningful snapshots
+        // than the points it emitted. Now the grid degrades to one
+        // checkpoint per unit: {1, 2, 3, 4}.
+        let q = query();
+        let model = MemoryCostModel::default();
+        let t = trace_run(
+            &q,
+            &model,
+            Method::Ii,
+            &MethodRunner::default(),
+            TimeLimit::of(4.0 / (16.0 * 5.0)), // 4 joins, κ=5 → budget 4
+            5.0,
+            32,
+            7,
+        );
+        assert!(!t.points.is_empty());
+        assert!(t.points.iter().all(|p| p.units > 0));
+        assert!(t.points.windows(2).all(|w| w[0].units < w[1].units));
+        assert!(t.points.len() <= 4);
+    }
+
+    #[test]
+    fn huge_budget_grid_does_not_overflow() {
+        // Regression: `budget * i` overflowed u64 once budget exceeded
+        // u64::MAX / resolution, scrambling the checkpoint grid. τ = 1e17
+        // at N = 4, κ = 5 gives a budget of 8e18 — past the overflow line
+        // for every i ≥ 3. A frozen (non-restarting) annealer terminates
+        // long before such a budget, so the run itself is quick.
+        let q = query();
+        let model = MemoryCostModel::default();
+        let mut runner = MethodRunner::default();
+        runner.sa.restart_on_frozen = false;
+        let t = trace_run(
+            &q,
+            &model,
+            Method::Sa,
+            &runner,
+            TimeLimit::of(1e17),
+            5.0,
+            16,
+            11,
+        );
+        let budget = TimeLimit::of(1e17).units(4, 5.0);
+        assert!(budget > u64::MAX / 16, "test premise: would overflow");
+        // The grid is strictly ascending and ends exactly at the budget.
+        assert!(t.points.windows(2).all(|w| w[0].units < w[1].units));
+        assert!(t.final_cost.is_finite());
     }
 
     #[test]

@@ -8,12 +8,14 @@ use crate::estimate::SizeWalker;
 use crate::incremental::{Estimator, IncrementalEvaluator};
 use crate::model::CostModel;
 use crate::sanitize_cost;
+use crate::shared::SharedBest;
 use ljqo_plan::Move;
 
 /// How many budget units may elapse between wall-clock reads when a
 /// [`Deadline`] is installed. Amortizes the cost of `Instant::now()` over
 /// the hot evaluation loop; one unit is an `O(N)` operation, so the
-/// deadline is noticed within `O(64·N)` elementary steps.
+/// deadline is noticed within `O(64·N)` elementary steps. A
+/// [`SharedBest`] cell, when installed, is polled on the same cadence.
 const DEADLINE_POLL_UNITS: u64 = 64;
 
 /// Best-so-far cost recorded when the budget crossed a checkpoint.
@@ -84,7 +86,15 @@ pub struct Evaluator<'a> {
     deadline: Option<Deadline>,
     /// Latched result of the last deadline poll; once true, stays true.
     deadline_hit: bool,
-    /// Units charged since the last deadline poll.
+    /// Optional cooperative best-cost cell shared with sibling workers.
+    /// Local best improvements are published to it immediately; it is
+    /// polled on the same amortized cadence as the deadline, and when the
+    /// *global* best reaches the stop threshold this evaluator winds down
+    /// even though its own best has not.
+    shared: Option<SharedBest>,
+    /// Latched result of the last shared-best poll; once true, stays true.
+    coop_stop: bool,
+    /// Units charged since the last deadline / shared-best poll.
     units_since_poll: u64,
 }
 
@@ -112,6 +122,8 @@ impl<'a> Evaluator<'a> {
             stop_threshold: -1.0,
             deadline: None,
             deadline_hit: false,
+            shared: None,
+            coop_stop: false,
             // Start at the poll interval so the very first charge reads
             // the clock — an already-expired deadline trips immediately.
             units_since_poll: DEADLINE_POLL_UNITS,
@@ -133,6 +145,38 @@ impl<'a> Evaluator<'a> {
     #[inline]
     pub fn deadline_expired(&self) -> bool {
         self.deadline_hit
+    }
+
+    /// Join a cooperative search: local best improvements are published
+    /// to `shared`, and the cell is polled on the same amortized cadence
+    /// as the deadline (every `DEADLINE_POLL_UNITS` charged units). If
+    /// a stop threshold is installed (see
+    /// [`Evaluator::set_stop_threshold`]) and the *global* best reaches
+    /// it, [`Evaluator::exhausted`] reports true — any worker reaching
+    /// the bar winds every cooperating worker down. Without a threshold
+    /// the cell changes nothing about this evaluator's own search; it
+    /// only makes the global best observable.
+    pub fn set_shared_best(&mut self, shared: SharedBest) {
+        if self.best_cost < f64::INFINITY {
+            shared.publish(self.best_cost);
+        }
+        self.shared = Some(shared);
+    }
+
+    /// The cooperative global best cost, if a [`SharedBest`] cell is
+    /// installed. Reads the cell directly (not the amortized poll cache),
+    /// so the value is current as of this call.
+    #[inline]
+    pub fn shared_best(&self) -> Option<f64> {
+        self.shared.as_ref().map(SharedBest::get)
+    }
+
+    /// Whether a poll of the shared best-cost cell observed the global
+    /// best at or below the stop threshold (a cooperative early stop, as
+    /// opposed to this evaluator's own best reaching it).
+    #[inline]
+    pub fn coop_stopped(&self) -> bool {
+        self.coop_stop
     }
 
     /// Install an early-stopping threshold, typically derived from the
@@ -178,6 +222,7 @@ impl<'a> Evaluator<'a> {
         if c < self.best_cost {
             self.best_cost = c;
             self.best_order = Some(order.clone());
+            self.publish_best();
         }
         c
     }
@@ -193,6 +238,7 @@ impl<'a> Evaluator<'a> {
         if c < self.best_cost {
             self.best_cost = c;
             self.best_order = Some(JoinOrder::new(rels.to_vec()));
+            self.publish_best();
         }
         c
     }
@@ -219,6 +265,7 @@ impl<'a> Evaluator<'a> {
         if c < self.best_cost {
             self.best_cost = c;
             self.best_order = Some(inc.order().clone());
+            self.publish_best();
         }
         inc
     }
@@ -248,8 +295,17 @@ impl<'a> Evaluator<'a> {
         if c < self.best_cost {
             self.best_cost = c;
             self.best_order = Some(inc.order().clone());
+            self.publish_best();
         }
         c
+    }
+
+    /// Publish the (just-improved) local best to the cooperative cell.
+    #[inline]
+    fn publish_best(&self) {
+        if let Some(shared) = &self.shared {
+            shared.publish(self.best_cost);
+        }
     }
 
     /// Evaluate without charging budget or updating best-so-far. For
@@ -275,23 +331,34 @@ impl<'a> Evaluator<'a> {
             self.next_checkpoint += 1;
         }
         self.used = self.used.saturating_add(units);
-        if let Some(deadline) = self.deadline {
-            if !self.deadline_hit {
-                self.units_since_poll = self.units_since_poll.saturating_add(units);
-                if self.units_since_poll >= DEADLINE_POLL_UNITS {
-                    self.units_since_poll = 0;
-                    self.deadline_hit = deadline.expired();
+        if (self.deadline.is_none() && self.shared.is_none()) || self.deadline_hit || self.coop_stop
+        {
+            return;
+        }
+        self.units_since_poll = self.units_since_poll.saturating_add(units);
+        if self.units_since_poll >= DEADLINE_POLL_UNITS {
+            self.units_since_poll = 0;
+            if let Some(deadline) = self.deadline {
+                self.deadline_hit = deadline.expired();
+            }
+            if let Some(shared) = &self.shared {
+                if self.stop_threshold >= 0.0 && shared.get() <= self.stop_threshold {
+                    self.coop_stop = true;
                 }
             }
         }
     }
 
     /// Whether the method should stop: the budget is exhausted, the best
-    /// solution has reached the early-stopping threshold, or the
-    /// wall-clock deadline has passed.
+    /// solution (local, or global under cooperative search) has reached
+    /// the early-stopping threshold, or the wall-clock deadline has
+    /// passed.
     #[inline]
     pub fn exhausted(&self) -> bool {
-        self.used >= self.limit || self.best_cost <= self.stop_threshold || self.deadline_hit
+        self.used >= self.limit
+            || self.best_cost <= self.stop_threshold
+            || self.deadline_hit
+            || self.coop_stop
     }
 
     /// Budget units consumed so far.
@@ -509,6 +576,72 @@ mod tests {
         let c2 = ev.cost(&order(&[2, 1, 0]));
         assert!(c2.is_finite() && c2 < f64::MAX);
         assert_eq!(ev.best().map(|(_, c)| c), Some(c2));
+    }
+
+    #[test]
+    fn shared_best_receives_local_improvements() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let shared = crate::SharedBest::new();
+        let mut ev = Evaluator::new(&query, &model);
+        ev.set_shared_best(shared.clone());
+        let c1 = ev.cost(&order(&[0, 1, 2]));
+        assert_eq!(shared.get(), c1);
+        let c2 = ev.cost(&order(&[2, 1, 0]));
+        assert_eq!(shared.get(), c1.min(c2));
+        assert_eq!(ev.shared_best(), Some(c1.min(c2)));
+        // Installing the cell after evaluations publishes the current best.
+        let late = crate::SharedBest::new();
+        ev.set_shared_best(late.clone());
+        assert_eq!(late.get(), c1.min(c2));
+    }
+
+    #[test]
+    fn foreign_cost_below_threshold_winds_evaluator_down() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let shared = crate::SharedBest::new();
+        let mut ev = Evaluator::with_budget(&query, &model, u64::MAX);
+        ev.set_shared_best(shared.clone());
+        ev.set_stop_threshold(1.0);
+        let o = order(&[0, 1, 2]);
+        ev.cost(&o);
+        assert!(!ev.exhausted(), "own best is far above the threshold");
+        // Another worker reaches the bar; this evaluator notices within
+        // the amortized poll interval and stops.
+        shared.publish(0.5);
+        let mut evals = 0u64;
+        while !ev.exhausted() {
+            ev.cost(&o);
+            evals += 1;
+            assert!(
+                evals <= super::DEADLINE_POLL_UNITS + 1,
+                "shared stop never noticed"
+            );
+        }
+        assert!(ev.coop_stopped());
+        assert!(ev.best().is_some());
+    }
+
+    #[test]
+    fn shared_cell_without_threshold_changes_nothing() {
+        let query = q();
+        let model = MemoryCostModel::default();
+        let run = |shared: Option<crate::SharedBest>| {
+            let mut ev = Evaluator::with_budget(&query, &model, 200);
+            if let Some(s) = shared {
+                ev.set_shared_best(s);
+            }
+            let mut sequence = Vec::new();
+            while !ev.exhausted() {
+                sequence.push(ev.cost(&order(&[0, 1, 2])));
+                sequence.push(ev.cost(&order(&[2, 1, 0])));
+            }
+            (sequence, ev.used(), ev.best_cost())
+        };
+        let shared = crate::SharedBest::new();
+        shared.publish(0.0); // a foreign best, but no threshold installed
+        assert_eq!(run(None), run(Some(shared)));
     }
 
     #[test]

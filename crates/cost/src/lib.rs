@@ -37,6 +37,7 @@ mod memory;
 mod model;
 mod multi;
 pub mod propagate;
+mod shared;
 
 pub use deadline::Deadline;
 pub use disk::DiskCostModel;
@@ -46,6 +47,7 @@ pub use incremental::{costs_agree, Estimator, IncrementalEvaluator};
 pub use memory::MemoryCostModel;
 pub use model::{CostModel, JoinCtx};
 pub use multi::{JoinMethod, MultiMethodCostModel};
+pub use shared::SharedBest;
 
 /// Intermediate cardinalities are clamped to this value so that products of
 /// many large relations cannot overflow `f64` and so that cost comparisons

@@ -1,0 +1,179 @@
+//! A lock-free shared best-cost cell for cooperative parallel search.
+//!
+//! Parallel multi-start workers are embarrassingly parallel *except* for
+//! one datum worth sharing: the best cost anyone has found. [`SharedBest`]
+//! is that datum — an [`Arc`]`<`[`AtomicU64`]`>` holding an f64 in a
+//! bit-ordered encoding, so that "record a better cost" is a single
+//! `fetch_min` and "read the global best" is a single load. No locks, no
+//! poisoning, and nothing for a panicking worker to corrupt: a dead
+//! worker simply stops publishing.
+//!
+//! The cell carries only the *cost*, never the join order. Orders stay
+//! worker-local (cloning them through a shared slot would need a mutex on
+//! the hot path); the parallel driver recovers the winning order from the
+//! worker that reported the winning cost. Consequently the cell's value
+//! is always at least as good as every worker's local best — each worker
+//! publishes its improvements — and may be momentarily better than any
+//! *surviving* worker's best if the publisher later panicked.
+//!
+//! Memory ordering is `Relaxed` throughout: the cell is a monotone
+//! minimum of a single value and no other memory is synchronized through
+//! it. A stale read is indistinguishable from reading a moment earlier,
+//! which the amortized polling cadence already allows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Map an `f64` to a `u64` whose unsigned order matches
+/// [`f64::total_cmp`]: flip all bits of negative values, set the sign bit
+/// of non-negative ones.
+#[inline]
+fn key_of(cost: f64) -> u64 {
+    let bits = cost.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    }
+}
+
+/// Inverse of [`key_of`].
+#[inline]
+fn cost_of(key: u64) -> f64 {
+    let bits = if key & (1 << 63) != 0 {
+        key ^ (1 << 63)
+    } else {
+        !key
+    };
+    f64::from_bits(bits)
+}
+
+/// A shared, monotonically decreasing best-cost watermark.
+///
+/// Clone the handle into each worker; all clones view the same cell.
+/// Workers publish every improvement of their local best
+/// ([`SharedBest::publish`]) and poll the global value
+/// ([`SharedBest::get`]) — the [`Evaluator`](crate::Evaluator) does both
+/// automatically once [`Evaluator::set_shared_best`] is installed,
+/// polling on the same amortized cadence as its deadline checks.
+///
+/// ```
+/// use ljqo_cost::SharedBest;
+///
+/// let shared = SharedBest::new();
+/// assert_eq!(shared.get(), f64::INFINITY);
+/// let clone = shared.clone();
+/// clone.publish(42.0);
+/// clone.publish(99.0); // worse: ignored
+/// assert_eq!(shared.get(), 42.0);
+/// ```
+///
+/// [`Evaluator::set_shared_best`]: crate::Evaluator::set_shared_best
+#[derive(Clone, Debug)]
+pub struct SharedBest {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for SharedBest {
+    fn default() -> Self {
+        SharedBest::new()
+    }
+}
+
+impl SharedBest {
+    /// A fresh cell holding `+∞` (no cost published yet).
+    pub fn new() -> Self {
+        SharedBest {
+            bits: Arc::new(AtomicU64::new(key_of(f64::INFINITY))),
+        }
+    }
+
+    /// Record `cost` if it beats the current global best. Non-finite
+    /// inputs are saturated first (see [`crate::sanitize_cost`]), so a
+    /// faulty worker cannot publish `NaN` and wedge every comparison.
+    #[inline]
+    pub fn publish(&self, cost: f64) {
+        let key = key_of(crate::sanitize_cost(cost));
+        self.bits.fetch_min(key, Ordering::Relaxed);
+    }
+
+    /// The best cost published so far (`+∞` if none).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        cost_of(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether any cost has been published.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.get() < f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn key_order_matches_total_cmp() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut samples: Vec<f64> = vec![0.0, -0.0, 1.0, -1.0, f64::MAX, f64::INFINITY];
+        for _ in 0..512 {
+            let exp = rng.gen_range(-300i32..300);
+            let mantissa: f64 = rng.gen_range(-10.0..10.0);
+            samples.push(mantissa * 10f64.powi(exp));
+        }
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    key_of(a).cmp(&key_of(b)),
+                    a.total_cmp(&b),
+                    "key order diverged for {a} vs {b}"
+                );
+                assert_eq!(cost_of(key_of(a)).to_bits(), a.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn publish_keeps_the_minimum() {
+        let s = SharedBest::new();
+        assert!(!s.is_set());
+        s.publish(10.0);
+        s.publish(25.0);
+        assert_eq!(s.get(), 10.0);
+        s.publish(3.5);
+        assert_eq!(s.get(), 3.5);
+        assert!(s.is_set());
+    }
+
+    #[test]
+    fn nan_publishes_saturate() {
+        let s = SharedBest::new();
+        s.publish(f64::NAN);
+        assert_eq!(s.get(), f64::MAX);
+        s.publish(7.0);
+        assert_eq!(s.get(), 7.0);
+        s.publish(f64::NAN); // must not displace a real cost
+        assert_eq!(s.get(), 7.0);
+    }
+
+    #[test]
+    fn clones_share_one_cell_across_threads() {
+        let s = SharedBest::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        s.publish(1000.0 - (t * 100 + i) as f64);
+                    }
+                });
+            }
+        });
+        // Minimum over all published values: 1000 - 399.
+        assert_eq!(s.get(), 601.0);
+    }
+}
