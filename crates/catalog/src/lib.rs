@@ -12,7 +12,9 @@
 //!   join selectivity and the distinct-value counts of the join columns,
 //! * [`JoinGraph`] — the undirected multigraph of join predicates,
 //! * [`Query`] — relations + join graph, validated,
-//! * [`QueryBuilder`] — ergonomic construction for examples and tests.
+//! * [`QueryBuilder`] — ergonomic construction for examples and tests,
+//! * [`quant`] — log-scale statistic quantization, the primitive that
+//!   plan-cache fingerprints bucket cardinalities and selectivities with.
 //!
 //! The paper restricts attention to select-project-join queries where the
 //! number of joins `N` is between 10 and 100; nothing in this crate depends
@@ -25,6 +27,7 @@
 mod builder;
 mod graph;
 mod predicate;
+pub mod quant;
 mod query;
 mod relation;
 

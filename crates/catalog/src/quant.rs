@@ -1,0 +1,130 @@
+//! Log-scale statistic quantization.
+//!
+//! Plan caching keys queries by a fingerprint that deliberately collapses
+//! cardinality and selectivity detail: Simpli-Squared-style studies show
+//! join orders are robust to coarse statistics, so queries whose
+//! statistics agree *up to a log-scale bucket* can share one optimized
+//! order. This module is the single quantization primitive those
+//! fingerprints are built from; keeping it in the catalog crate lets any
+//! consumer (cache, workload analysis, dashboards) bucket statistics the
+//! same way.
+//!
+//! A bucket is an index on the base-10 logarithmic axis, with
+//! `buckets_per_decade` buckets per factor of ten. Two values fall in the
+//! same bucket iff their `log10` differ by less than the bucket width
+//! `1 / buckets_per_decade` *and* they do not straddle a bucket boundary;
+//! values whose logs differ by more than one full bucket width are
+//! guaranteed to land in different buckets.
+
+use crate::predicate::JoinEdge;
+use crate::relation::{RelId, Relation};
+
+/// The log-scale bucket index of `value` with `buckets_per_decade`
+/// buckets per factor of ten.
+///
+/// Non-positive and non-finite inputs (which a validated catalog never
+/// produces) are mapped to the sentinel bucket `i64::MIN` so that callers
+/// on unvalidated data get a stable, obviously-out-of-band value instead
+/// of a panic or a NaN-derived cast.
+///
+/// `buckets_per_decade == 0` is treated as 1 (one bucket per decade).
+#[inline]
+pub fn log_bucket(value: f64, buckets_per_decade: u32) -> i64 {
+    if !value.is_finite() || value <= 0.0 {
+        return i64::MIN;
+    }
+    let bpd = buckets_per_decade.max(1) as f64;
+    (value.log10() * bpd).floor() as i64
+}
+
+/// The half-open value range `[lo, hi)` covered by `bucket` at
+/// `buckets_per_decade`. Inverse of [`log_bucket`] (up to floating-point
+/// rounding at the boundaries); useful for tests and diagnostics.
+pub fn bucket_bounds(bucket: i64, buckets_per_decade: u32) -> (f64, f64) {
+    let bpd = buckets_per_decade.max(1) as f64;
+    let lo = 10f64.powf(bucket as f64 / bpd);
+    let hi = 10f64.powf((bucket + 1) as f64 / bpd);
+    (lo, hi)
+}
+
+impl Relation {
+    /// Log-scale bucket of the effective cardinality (`N_k` after
+    /// selections). See [`log_bucket`].
+    pub fn cardinality_bucket(&self, buckets_per_decade: u32) -> i64 {
+        log_bucket(self.cardinality(), buckets_per_decade)
+    }
+}
+
+impl JoinEdge {
+    /// Log-scale bucket of the join selectivity. Selectivities live in
+    /// `(0, 1]`, so buckets are `<= 0`. See [`log_bucket`].
+    pub fn selectivity_bucket(&self, buckets_per_decade: u32) -> i64 {
+        log_bucket(self.selectivity, buckets_per_decade)
+    }
+
+    /// Log-scale bucket of the distinct count on the side of `rel`;
+    /// `None` if `rel` is not an endpoint.
+    pub fn distinct_bucket(&self, rel: RelId, buckets_per_decade: u32) -> Option<i64> {
+        self.distinct_on(rel)
+            .map(|d| log_bucket(d, buckets_per_decade))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_log_axis() {
+        // 4 buckets per decade: width 10^(1/4) ≈ 1.778.
+        assert_eq!(log_bucket(1.0, 4), 0);
+        assert_eq!(log_bucket(1.7, 4), 0);
+        assert_eq!(log_bucket(1.8, 4), 1);
+        assert_eq!(log_bucket(10.0, 4), 4);
+        assert_eq!(log_bucket(1000.0, 4), 12);
+    }
+
+    #[test]
+    fn values_more_than_one_width_apart_always_differ() {
+        let bpd = 3u32;
+        for exp in -8..8 {
+            let x = 10f64.powi(exp) * 2.37;
+            // Anything beyond one full bucket width (10^(1/bpd)) away in
+            // ratio must land in a different bucket.
+            let far = x * 10f64.powf(1.0 / bpd as f64) * 1.001;
+            assert_ne!(log_bucket(x, bpd), log_bucket(far, bpd), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn bounds_invert_the_bucket() {
+        for &v in &[0.003, 0.7, 1.0, 42.0, 1.6e7] {
+            let b = log_bucket(v, 5);
+            let (lo, hi) = bucket_bounds(b, 5);
+            assert!(lo <= v && v < hi * (1.0 + 1e-12), "{v} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_hit_the_sentinel() {
+        assert_eq!(log_bucket(0.0, 4), i64::MIN);
+        assert_eq!(log_bucket(-3.0, 4), i64::MIN);
+        assert_eq!(log_bucket(f64::NAN, 4), i64::MIN);
+        assert_eq!(log_bucket(f64::INFINITY, 4), i64::MIN);
+    }
+
+    #[test]
+    fn zero_buckets_per_decade_acts_as_one() {
+        assert_eq!(log_bucket(5.0, 0), log_bucket(5.0, 1));
+    }
+
+    #[test]
+    fn relation_and_edge_hooks_agree_with_the_primitive() {
+        let r = Relation::new("r", 1000).with_selection(0.5);
+        assert_eq!(r.cardinality_bucket(4), log_bucket(500.0, 4));
+        let e = JoinEdge::from_distincts(0u32, 1u32, 40.0, 25.0);
+        assert_eq!(e.selectivity_bucket(4), log_bucket(1.0 / 40.0, 4));
+        assert_eq!(e.distinct_bucket(RelId(0), 4), Some(log_bucket(40.0, 4)));
+        assert_eq!(e.distinct_bucket(RelId(7), 4), None);
+    }
+}

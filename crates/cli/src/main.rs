@@ -4,6 +4,7 @@
 //! ljqo-opt QUERY.json [--method IAI] [--model memory|disk|multi]
 //!          [--tau 9] [--kappa 5] [--seed 0] [--deadline-ms N]
 //!          [--workers N] [--cooperate] [--portfolio]
+//!          [--cache-entries N] [--cache-shards N] [--fp-buckets N]
 //!          [--json] [--all-methods]
 //! ```
 //!
@@ -20,6 +21,16 @@
 //! switches the workers from isolated (bit-deterministic) search to
 //! shared best-cost pruning, which is timing-dependent but never worse
 //! in plan quality at equal budget.
+//!
+//! Plan cache: `--cache-entries N` (N > 0) routes the query through the
+//! plan-cache serving path — fingerprint, lookup, validity re-check, and
+//! fall-through to the cold search on a miss — exactly as a long-running
+//! service would. A fresh process starts with an empty cache, so a single
+//! invocation always reports a miss; the flags exist so scripts and tests
+//! can exercise and snapshot the serving path. `--cache-shards` and
+//! `--fp-buckets` tune the cache geometry and the log-scale statistic
+//! bucketing of the fingerprint. Cache stats are always present in
+//! `--json` output (with `"enabled": false` when caching is off).
 //!
 //! Exit codes distinguish the error classes so scripts can react:
 //!
@@ -59,6 +70,9 @@ struct Options {
     workers: usize,
     cooperate: bool,
     portfolio: bool,
+    cache_entries: usize,
+    cache_shards: usize,
+    fp_buckets: u32,
     json: bool,
     all_methods: bool,
 }
@@ -68,7 +82,9 @@ fn usage() -> ! {
         "usage: ljqo-opt QUERY.json [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI]\n\
          \x20                       [--model memory|disk|multi] [--tau F] [--kappa F]\n\
          \x20                       [--seed U64] [--deadline-ms U64] [--workers N]\n\
-         \x20                       [--cooperate] [--portfolio] [--json] [--all-methods]"
+         \x20                       [--cooperate] [--portfolio] [--cache-entries N]\n\
+         \x20                       [--cache-shards N] [--fp-buckets N] [--json]\n\
+         \x20                       [--all-methods]"
     );
     std::process::exit(2);
 }
@@ -85,6 +101,9 @@ fn parse_args() -> Options {
         workers: 1,
         cooperate: false,
         portfolio: false,
+        cache_entries: 0,
+        cache_shards: 8,
+        fp_buckets: 4,
         json: false,
         all_methods: false,
     };
@@ -120,6 +139,23 @@ fn parse_args() -> Options {
             }
             "--cooperate" => opts.cooperate = true,
             "--portfolio" => opts.portfolio = true,
+            "--cache-entries" => {
+                opts.cache_entries = value("--cache-entries").parse().unwrap_or_else(|_| usage());
+            }
+            "--cache-shards" => {
+                opts.cache_shards = value("--cache-shards").parse().unwrap_or_else(|_| usage());
+                if opts.cache_shards == 0 {
+                    eprintln!("error: --cache-shards must be at least 1");
+                    usage()
+                }
+            }
+            "--fp-buckets" => {
+                opts.fp_buckets = value("--fp-buckets").parse().unwrap_or_else(|_| usage());
+                if opts.fp_buckets == 0 {
+                    eprintln!("error: --fp-buckets must be at least 1");
+                    usage()
+                }
+            }
             "--json" => opts.json = true,
             "--all-methods" => opts.all_methods = true,
             "--help" | "-h" => usage(),
@@ -148,6 +184,30 @@ fn model_for(name: &str) -> Box<dyn CostModel + Sync> {
             usage()
         }
     }
+}
+
+/// The always-present `"cache"` object of `--json` output. When caching
+/// is off every stat is zero and `outcome` is `"off"`, so the schema is
+/// identical either way and scripts can key on `enabled`.
+fn cache_json(
+    cache: Option<&PlanCache>,
+    outcome: Option<CacheOutcome>,
+    opts: &Options,
+) -> ljqo_json::Value {
+    let stats = cache.map(|c| c.stats()).unwrap_or_default();
+    ljqo_json::json!({
+        "enabled": cache.is_some(),
+        "outcome": outcome.map(|o| o.name()).unwrap_or("off"),
+        "entries": opts.cache_entries as u64,
+        "shards": opts.cache_shards as u64,
+        "fp_buckets": opts.fp_buckets as u64,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "inserts": stats.inserts,
+        "evictions": stats.evictions,
+        "resident_entries": stats.entries as u64,
+        "resident_bytes": stats.bytes as u64,
+    })
 }
 
 fn exit_for(err: &OptError) -> ExitCode {
@@ -218,7 +278,18 @@ fn main() -> ExitCode {
     }
 
     let parallel = opts.workers > 1 || opts.portfolio || opts.cooperate;
-    let attempt = if parallel {
+    let cache_enabled = opts.cache_entries > 0;
+    let cache = cache_enabled.then(|| {
+        PlanCache::new(PlanCacheConfig {
+            max_entries: opts.cache_entries,
+            shards: opts.cache_shards,
+            ..PlanCacheConfig::default()
+        })
+    });
+    let fp_config = FingerprintConfig {
+        buckets_per_decade: opts.fp_buckets,
+    };
+    let parallelism = parallel.then(|| {
         let mut parallelism = if opts.portfolio {
             Parallelism::portfolio(opts.workers)
         } else {
@@ -227,16 +298,23 @@ fn main() -> ExitCode {
         if opts.cooperate {
             parallelism = parallelism.with_cooperation(Cooperation::SharedBest);
         }
-        try_optimize_parallel(
-            &query,
-            model.as_ref(),
-            &config_for(opts.method),
-            &parallelism,
-        )
-    } else {
-        try_optimize(&query, model.as_ref(), &config_for(opts.method))
+        parallelism
+    });
+    let config = config_for(opts.method);
+    let attempt: Result<(Optimized, Option<CacheOutcome>), OptError> = match (&cache, &parallelism)
+    {
+        (Some(cache), Some(par)) => {
+            optimize_cached_parallel(&query, model.as_ref(), &config, par, cache, &fp_config)
+                .map(|(r, o)| (r, Some(o)))
+        }
+        (Some(cache), None) => optimize_cached(&query, model.as_ref(), &config, cache, &fp_config)
+            .map(|(r, o)| (r, Some(o))),
+        (None, Some(par)) => {
+            try_optimize_parallel(&query, model.as_ref(), &config, par).map(|r| (r, None))
+        }
+        (None, None) => try_optimize(&query, model.as_ref(), &config).map(|r| (r, None)),
     };
-    let result = match attempt {
+    let (result, cache_outcome) = match attempt {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -244,6 +322,7 @@ fn main() -> ExitCode {
         }
     };
     if opts.json {
+        let cache_stats_json = cache_json(cache.as_ref(), cache_outcome, &opts);
         let order: Vec<Vec<String>> = result
             .plan
             .segments
@@ -271,6 +350,7 @@ fn main() -> ExitCode {
             "portfolio": opts.portfolio,
             "cooperate": opts.cooperate,
             "workers_failed": result.workers_failed as u64,
+            "cache": cache_stats_json,
         });
         println!("{}", out.to_string_pretty());
     } else {
@@ -300,6 +380,17 @@ fn main() -> ExitCode {
                 } else {
                     ""
                 }
+            );
+        }
+        if let (Some(cache), Some(outcome)) = (&cache, cache_outcome) {
+            let s = cache.stats();
+            println!(
+                "plan cache: {} ({} entries / {} shards, {} hits / {} misses)",
+                outcome.name(),
+                s.entries,
+                cache.n_shards(),
+                s.hits,
+                s.misses
             );
         }
         if result.workers_failed > 0 {

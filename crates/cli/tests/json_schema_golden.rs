@@ -1,0 +1,121 @@
+//! Golden-file test for the `--json` output schema.
+//!
+//! Snapshots the set of key paths (not values) the CLI emits, so any
+//! field rename, removal, or addition — including the cache stats block —
+//! shows up as a reviewable diff against the committed golden file.
+//!
+//! To update after an intentional schema change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ljqo-cli --test json_schema_golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sample_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/data/sample_query.json")
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/json_schema.txt")
+}
+
+/// Collect every key path in `value`, descending objects (`a.b`) and the
+/// first element of arrays (`a[]`).
+fn key_paths(prefix: &str, value: &ljqo_json::Value, out: &mut Vec<String>) {
+    if let Some(fields) = value.as_object() {
+        for (k, v) in fields {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            out.push(path.clone());
+            key_paths(&path, v, out);
+        }
+    } else if let Some(items) = value.as_array() {
+        if let Some(first) = items.first() {
+            key_paths(&format!("{prefix}[]"), first, out);
+        }
+    }
+}
+
+fn run_cli(extra: &[&str]) -> ljqo_json::Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_ljqo-opt"))
+        .arg(sample_path())
+        .arg("--json")
+        .args(extra)
+        .output()
+        .expect("CLI binary runs");
+    assert!(
+        out.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    ljqo_json::parse(&String::from_utf8_lossy(&out.stdout)).expect("CLI emits valid JSON")
+}
+
+#[test]
+fn json_schema_matches_the_golden_file() {
+    // Two invocations: caching off (the default) and on. The schema must
+    // be identical either way — the cache block is always present — so
+    // both feed one snapshot.
+    let mut paths = Vec::new();
+    key_paths("", &run_cli(&[]), &mut paths);
+    key_paths(
+        "",
+        &run_cli(&[
+            "--cache-entries",
+            "32",
+            "--cache-shards",
+            "2",
+            "--fp-buckets",
+            "8",
+        ]),
+        &mut paths,
+    );
+    paths.sort();
+    paths.dedup();
+    let got = paths.join("\n") + "\n";
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &got).expect("golden file is writable");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path())
+        .expect("golden file exists (run with UPDATE_GOLDEN=1 to create it)");
+    assert_eq!(
+        got, want,
+        "JSON schema drifted from the golden file; if intentional, \
+         re-run with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn cache_block_reports_the_serving_outcome() {
+    // Value-level checks on the cache block (the golden file only pins
+    // the schema): a cold process always reports one miss + one insert
+    // when caching is on, and `enabled: false` with outcome "off" when
+    // it is not.
+    let on = run_cli(&["--cache-entries", "16"]);
+    let cache = on.get("cache").expect("cache block present");
+    assert_eq!(cache.get("enabled").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        cache.get("outcome").and_then(|v| v.as_str()),
+        Some("miss"),
+        "a fresh process has an empty cache"
+    );
+    assert_eq!(cache.get("misses").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(cache.get("inserts").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        cache.get("resident_entries").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    let off = run_cli(&[]);
+    let cache = off.get("cache").expect("cache block present even when off");
+    assert_eq!(cache.get("enabled").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(cache.get("outcome").and_then(|v| v.as_str()), Some("off"));
+    assert_eq!(cache.get("hits").and_then(|v| v.as_u64()), Some(0));
+}

@@ -115,6 +115,12 @@ pub struct Optimized {
     pub plan: Plan,
     /// Estimated total cost, including cross products between segments.
     pub cost: f64,
+    /// Per-segment costs, aligned with `plan.segments`. These are the
+    /// costs the winning orders were found at; summing them and the
+    /// cross-product join costs reproduces `cost` exactly. The plan cache
+    /// stores these so a warm hit can reconstruct the cold-path cost
+    /// bit-for-bit without re-pricing.
+    pub segment_costs: Vec<f64>,
     /// Budget units consumed.
     pub units_used: u64,
     /// Full plan evaluations performed.
@@ -312,10 +318,11 @@ pub fn try_optimize(
         segments.push((order, cost));
     }
 
-    let (plan, total_cost) = assemble_plan(query, model, segments);
+    let (plan, total_cost, segment_costs) = assemble_plan(query, model, segments);
     Ok(Optimized {
         plan,
         cost: total_cost,
+        segment_costs,
         units_used,
         n_evals,
         degradation,
@@ -331,11 +338,17 @@ pub fn try_optimize(
 /// The model is consulted once more here, so this is panic-isolated: a
 /// plan whose segments were rescued by the fallback ladder must not be
 /// lost to one last model fault while pricing the cross products.
-fn assemble_plan(
+///
+/// Returns the plan, its total cost, and the per-segment costs in the
+/// plan's (sorted) segment order. Assembly is a pure function of the
+/// `(order, cost)` pairs: feeding the same pairs back in reproduces the
+/// same total bit-for-bit, which is what lets a plan-cache hit return the
+/// cold path's exact cost (see `crate::cached`).
+pub(crate) fn assemble_plan(
     query: &Query,
     model: &dyn CostModel,
     mut segments: Vec<(JoinOrder, f64)>,
-) -> (Plan, f64) {
+) -> (Plan, f64, Vec<f64>) {
     segments.sort_by(|a, b| {
         let sa = final_result_size(query, a.0.rels());
         let sb = final_result_size(query, b.0.rels());
@@ -361,10 +374,11 @@ fn assemble_plan(
     }))
     .unwrap_or(f64::MAX);
 
+    let segment_costs: Vec<f64> = segments.iter().map(|&(_, c)| c).collect();
     let plan = Plan {
         segments: segments.into_iter().map(|(o, _)| o).collect(),
     };
-    (plan, total_cost)
+    (plan, total_cost, segment_costs)
 }
 
 /// [`try_optimize`], with each component searched by a parallel worker
@@ -478,10 +492,11 @@ pub fn try_optimize_parallel(
         segments.push((order, cost));
     }
 
-    let (plan, total_cost) = assemble_plan(query, model, segments);
+    let (plan, total_cost, segment_costs) = assemble_plan(query, model, segments);
     Ok(Optimized {
         plan,
         cost: total_cost,
+        segment_costs,
         units_used,
         n_evals,
         degradation,
@@ -517,6 +532,16 @@ pub struct BatchReport {
     pub n_degraded: usize,
     /// Queries whose per-query deadline expired during the search.
     pub n_deadline_expired: usize,
+    /// Queries answered by running the full combinatorial search. For
+    /// plain [`optimize_batch`] this is every query; the cache-aware
+    /// driver (`optimize_batch_cached`) solves once per fingerprint class.
+    pub n_cold_solves: usize,
+    /// Queries answered from a pre-existing plan-cache entry (always 0
+    /// for plain [`optimize_batch`]).
+    pub n_cache_hits: usize,
+    /// Queries answered by reusing a sibling's in-batch cold solve after
+    /// fingerprint dedup (always 0 for plain [`optimize_batch`]).
+    pub n_dedup_reuses: usize,
     /// Total budget units consumed across the batch.
     pub units_used: u64,
     /// End-to-end wall-clock time of the batch.
@@ -587,6 +612,9 @@ pub fn optimize_batch(
         n_failed: 0,
         n_degraded: 0,
         n_deadline_expired: 0,
+        n_cold_solves: queries.len(),
+        n_cache_hits: 0,
+        n_dedup_reuses: 0,
         units_used: 0,
         wall: Duration::ZERO,
     };

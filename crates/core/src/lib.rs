@@ -59,6 +59,7 @@
 
 pub mod analysis;
 pub mod bushy;
+mod cached;
 pub mod dp;
 mod driver;
 mod error;
@@ -72,6 +73,7 @@ mod sa;
 mod sampling;
 pub mod trace;
 
+pub use cached::{optimize_batch_cached, optimize_cached, optimize_cached_parallel, CacheOutcome};
 pub use driver::{
     optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,
     Optimized, OptimizerConfig,
@@ -84,6 +86,7 @@ pub use sa::SimulatedAnnealing;
 pub use sampling::RandomSampling;
 
 // Re-export the component crates so downstream users need only `ljqo`.
+pub use ljqo_cache as cache;
 pub use ljqo_catalog as catalog;
 pub use ljqo_cost as cost;
 pub use ljqo_heuristics as heuristics;

@@ -13,11 +13,15 @@ pub use crate::parallel::{
 };
 pub use crate::trace::{trace_run, Trace, TracePoint};
 pub use crate::{
-    optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,
-    Degradation, OptError, Optimized, OptimizerConfig,
+    optimize, optimize_batch, optimize_batch_cached, optimize_cached, optimize_cached_parallel,
+    try_optimize, try_optimize_parallel, BatchOptions, BatchReport, CacheOutcome, Degradation,
+    OptError, Optimized, OptimizerConfig,
 };
 pub use crate::{IterativeImprovement, Method, MethodRunner, RandomSampling, SimulatedAnnealing};
 
+pub use ljqo_cache::{
+    fingerprint, CacheStats, FingerprintConfig, PlanCache, PlanCacheConfig, QueryFingerprint,
+};
 pub use ljqo_catalog::{CatalogError, JoinEdge, JoinGraph, Query, QueryBuilder, RelId, Relation};
 pub use ljqo_cost::{
     CostModel, Deadline, DiskCostModel, Evaluator, JoinCtx, MemoryCostModel, TimeLimit,
