@@ -27,6 +27,12 @@ pub struct JoinGraph {
     edges: Vec<JoinEdge>,
     /// `adjacency[r]` lists the ids of edges incident to relation `r`.
     adjacency: Vec<Vec<EdgeId>>,
+    /// CSR offsets into `neighbor_list`: the distinct neighbors of `r` are
+    /// `neighbor_list[neighbor_offsets[r] .. neighbor_offsets[r + 1]]`.
+    neighbor_offsets: Vec<u32>,
+    /// Distinct neighbors of each relation, sorted, deduplicated across
+    /// parallel edges.
+    neighbor_list: Vec<RelId>,
 }
 
 impl JoinGraph {
@@ -48,10 +54,32 @@ impl JoinGraph {
             adjacency[e.a.index()].push(id);
             adjacency[e.b.index()].push(id);
         }
+        // Precompute the sorted distinct-neighbor lists once, in CSR form,
+        // so `neighbors()` and `degree()` are O(1) lookups instead of
+        // per-call collect + sort + dedup allocations.
+        let mut neighbor_offsets = Vec::with_capacity(n_relations + 1);
+        let mut neighbor_list = Vec::with_capacity(2 * edges.len());
+        let mut scratch: Vec<RelId> = Vec::new();
+        for (r, incident) in adjacency.iter().enumerate() {
+            neighbor_offsets.push(neighbor_list.len() as u32);
+            let rel = RelId(r as u32);
+            scratch.clear();
+            scratch.extend(
+                incident
+                    .iter()
+                    .filter_map(|&eid| edges[eid.index()].other(rel)),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            neighbor_list.extend_from_slice(&scratch);
+        }
+        neighbor_offsets.push(neighbor_list.len() as u32);
         JoinGraph {
             n_relations,
             edges,
             adjacency,
+            neighbor_offsets,
+            neighbor_list,
         }
     }
 
@@ -80,28 +108,21 @@ impl JoinGraph {
     }
 
     /// Degree of `rel` in the join graph (`deg(k)` in the paper): the
-    /// number of *distinct* relations it joins with.
+    /// number of *distinct* relations it joins with. O(1) — precomputed at
+    /// construction.
+    #[inline]
     pub fn degree(&self, rel: RelId) -> usize {
-        let mut neighbors: Vec<RelId> = self
-            .incident(rel)
-            .iter()
-            .filter_map(|&e| self.edge(e).other(rel))
-            .collect();
-        neighbors.sort_unstable();
-        neighbors.dedup();
-        neighbors.len()
+        self.neighbors(rel).len()
     }
 
-    /// Iterator over the distinct neighbor relations of `rel`.
-    pub fn neighbors(&self, rel: RelId) -> Vec<RelId> {
-        let mut neighbors: Vec<RelId> = self
-            .incident(rel)
-            .iter()
-            .filter_map(|&e| self.edge(e).other(rel))
-            .collect();
-        neighbors.sort_unstable();
-        neighbors.dedup();
-        neighbors
+    /// The distinct neighbor relations of `rel`, sorted by id. O(1) — a
+    /// slice into the CSR neighbor index precomputed at construction.
+    #[inline]
+    pub fn neighbors(&self, rel: RelId) -> &[RelId] {
+        let r = rel.index();
+        let lo = self.neighbor_offsets[r] as usize;
+        let hi = self.neighbor_offsets[r + 1] as usize;
+        &self.neighbor_list[lo..hi]
     }
 
     /// Product of the selectivities of all edges between `a` and `b`, or
@@ -183,11 +204,7 @@ impl JoinGraph {
                 }
             }
         }
-        SpanningTree {
-            root,
-            parent,
-            members,
-        }
+        SpanningTree::new(root, parent, members)
     }
 }
 
@@ -204,16 +221,54 @@ pub struct SpanningTree {
     pub parent: Vec<Option<(RelId, EdgeId)>>,
     /// Relations in the tree, in discovery order (root first).
     pub members: Vec<RelId>,
+    /// CSR offsets into `child_list`: the children of `r` are
+    /// `child_list[child_offsets[r] .. child_offsets[r + 1]]`.
+    child_offsets: Vec<u32>,
+    /// Children of each relation, in discovery order.
+    child_list: Vec<RelId>,
 }
 
 impl SpanningTree {
-    /// Children of `rel` in the tree.
-    pub fn children(&self, rel: RelId) -> Vec<RelId> {
-        self.members
-            .iter()
-            .copied()
-            .filter(|&m| self.parent[m.index()].map(|(p, _)| p) == Some(rel))
-            .collect()
+    fn new(root: RelId, parent: Vec<Option<(RelId, EdgeId)>>, members: Vec<RelId>) -> Self {
+        // Bucket the members (minus the root) under their parents with a
+        // counting sort, preserving discovery order within each bucket —
+        // the same order the old filter-over-members scan produced.
+        let n = parent.len();
+        let mut counts = vec![0u32; n + 1];
+        for m in &members {
+            if let Some((p, _)) = parent[m.index()] {
+                counts[p.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let child_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut child_list = vec![root; members.len().saturating_sub(1)];
+        for &m in &members {
+            if let Some((p, _)) = parent[m.index()] {
+                child_list[cursor[p.index()] as usize] = m;
+                cursor[p.index()] += 1;
+            }
+        }
+        SpanningTree {
+            root,
+            parent,
+            members,
+            child_offsets,
+            child_list,
+        }
+    }
+
+    /// Children of `rel` in the tree, in discovery order. O(1) — a slice
+    /// into a child index precomputed at construction.
+    #[inline]
+    pub fn children(&self, rel: RelId) -> &[RelId] {
+        let r = rel.index();
+        let lo = self.child_offsets[r] as usize;
+        let hi = self.child_offsets[r + 1] as usize;
+        &self.child_list[lo..hi]
     }
 }
 

@@ -25,6 +25,7 @@
 #![warn(clippy::all)]
 
 mod builder;
+pub mod compiled;
 mod graph;
 mod predicate;
 pub mod quant;
@@ -32,6 +33,7 @@ mod query;
 mod relation;
 
 pub use builder::QueryBuilder;
+pub use compiled::CompiledQuery;
 pub use graph::{EdgeId, JoinGraph, SpanningTree};
 pub use predicate::{JoinEdge, Selection};
 pub use query::{CatalogError, Query};

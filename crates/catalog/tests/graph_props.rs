@@ -62,7 +62,7 @@ fn degree_matches_neighbors() {
             let r = RelId(r as u32);
             let neighbors = g.neighbors(r);
             assert_eq!(g.degree(r), neighbors.len(), "case {case}");
-            for &o in &neighbors {
+            for &o in neighbors {
                 assert!(
                     g.neighbors(o).contains(&r),
                     "case {case}: asymmetric adjacency"

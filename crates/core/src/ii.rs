@@ -35,6 +35,12 @@ pub struct IterativeImprovement {
     /// [`supports_incremental`](ljqo_cost::CostModel::supports_incremental)
     /// `() == false` always take the full path regardless.
     pub full_eval: bool,
+    /// Filter move proposals with the compiled windowed bitset checker
+    /// ([`MoveGenerator::with_compiled`]) instead of full validity scans.
+    /// The two filters accept exactly the same proposals (asserted in
+    /// debug builds and by the differential property suite), so this flag
+    /// changes throughput only; it exists for A/B measurement.
+    pub compiled_moves: bool,
 }
 
 impl Default for IterativeImprovement {
@@ -43,6 +49,7 @@ impl Default for IterativeImprovement {
             move_set: MoveSet::default(),
             fail_factor: 0.25,
             full_eval: false,
+            compiled_moves: true,
         }
     }
 }
@@ -102,7 +109,11 @@ impl IterativeImprovement {
     /// states until the budget is exhausted. The best local minimum is
     /// tracked by the evaluator.
     pub fn run<R: Rng + ?Sized>(&self, ev: &mut Evaluator<'_>, component: &[RelId], rng: &mut R) {
-        let mut gen = MoveGenerator::new(ev.query().n_relations(), self.move_set);
+        let mut gen = if self.compiled_moves {
+            MoveGenerator::with_compiled(ev.compiled().clone(), self.move_set)
+        } else {
+            MoveGenerator::new(ev.query().n_relations(), self.move_set)
+        };
         while !ev.exhausted() {
             let mut order = random_valid_order(ev.query().graph(), component, rng);
             self.descend(ev, &mut gen, &mut order, rng);

@@ -48,6 +48,10 @@ pub struct SimulatedAnnealing {
     /// instead of the incremental (delta) path. See
     /// [`IterativeImprovement::full_eval`](crate::IterativeImprovement::full_eval).
     pub full_eval: bool,
+    /// Filter move proposals with the compiled windowed bitset checker
+    /// instead of full validity scans. See
+    /// [`IterativeImprovement::compiled_moves`](crate::IterativeImprovement::compiled_moves).
+    pub compiled_moves: bool,
 }
 
 impl Default for SimulatedAnnealing {
@@ -61,6 +65,7 @@ impl Default for SimulatedAnnealing {
             min_accept_ratio: 0.02,
             restart_on_frozen: true,
             full_eval: false,
+            compiled_moves: true,
         }
     }
 }
@@ -127,7 +132,11 @@ impl SimulatedAnnealing {
             ev.cost(&start);
             return;
         }
-        let mut gen = MoveGenerator::new(ev.query().n_relations(), self.move_set);
+        let mut gen = if self.compiled_moves {
+            MoveGenerator::with_compiled(ev.compiled().clone(), self.move_set)
+        } else {
+            MoveGenerator::new(ev.query().n_relations(), self.move_set)
+        };
         let (t0, mut path, mut current) = self.initial_temperature(ev, &mut gen, start, rng);
         let chain_length = (self.size_factor * n).max(4);
         let graph = ev.query().graph();

@@ -1,6 +1,8 @@
 //! Budgeted cost evaluation with best-so-far tracking.
 
-use ljqo_catalog::{Query, RelId};
+use std::sync::Arc;
+
+use ljqo_catalog::{CompiledQuery, Query, RelId};
 use ljqo_plan::JoinOrder;
 
 use crate::deadline::Deadline;
@@ -66,6 +68,10 @@ pub struct Snapshot {
 pub struct Evaluator<'a> {
     query: &'a Query,
     model: &'a dyn CostModel,
+    /// Compiled snapshot of `query`, built once per evaluator and shared
+    /// (via `Arc`) with every incremental evaluator and — through
+    /// [`Evaluator::compiled`] — with the optimizers' move generators.
+    compiled: Arc<CompiledQuery>,
     walker: SizeWalker,
     limit: u64,
     used: u64,
@@ -109,6 +115,7 @@ impl<'a> Evaluator<'a> {
         Evaluator {
             query,
             model,
+            compiled: Arc::new(CompiledQuery::new(query)),
             walker: SizeWalker::new(query.n_relations()),
             limit,
             used: 0,
@@ -207,6 +214,25 @@ impl<'a> Evaluator<'a> {
         self.model
     }
 
+    /// The compiled snapshot of the query, for sharing with move
+    /// generators ([`ljqo_plan::MoveGenerator`]'s compiled windowed
+    /// filtering) and other hot-loop consumers.
+    #[inline]
+    pub fn compiled(&self) -> &Arc<CompiledQuery> {
+        &self.compiled
+    }
+
+    /// Record `rels` as the new best order without allocating when a best
+    /// buffer already exists.
+    #[inline]
+    fn record_best(&mut self, rels: &[RelId]) {
+        match &mut self.best_order {
+            Some(best) => best.copy_from_rels(rels),
+            None => self.best_order = Some(JoinOrder::new(rels.to_vec())),
+        }
+        self.publish_best();
+    }
+
     /// Evaluate the cost of `order`, charging one budget unit and updating
     /// the best-so-far state. Non-finite model outputs are saturated to
     /// [`f64::MAX`] (see [`sanitize_cost`]) so a faulty model cannot
@@ -221,8 +247,7 @@ impl<'a> Evaluator<'a> {
         self.n_evals += 1;
         if c < self.best_cost {
             self.best_cost = c;
-            self.best_order = Some(order.clone());
-            self.publish_best();
+            self.record_best(order.rels());
         }
         c
     }
@@ -237,8 +262,7 @@ impl<'a> Evaluator<'a> {
         self.n_evals += 1;
         if c < self.best_cost {
             self.best_cost = c;
-            self.best_order = Some(JoinOrder::new(rels.to_vec()));
-            self.publish_best();
+            self.record_best(rels);
         }
         c
     }
@@ -259,13 +283,18 @@ impl<'a> Evaluator<'a> {
             self.model.name()
         );
         self.charge(1);
-        let inc = IncrementalEvaluator::new(self.query, self.model, Estimator::Static, order);
+        let inc = IncrementalEvaluator::with_compiled(
+            self.query,
+            self.model,
+            Estimator::Static,
+            order,
+            Arc::clone(&self.compiled),
+        );
         let c = inc.current_cost();
         self.n_evals += 1;
         if c < self.best_cost {
             self.best_cost = c;
-            self.best_order = Some(inc.order().clone());
-            self.publish_best();
+            self.record_best(inc.order().rels());
         }
         inc
     }
@@ -294,8 +323,7 @@ impl<'a> Evaluator<'a> {
         );
         if c < self.best_cost {
             self.best_cost = c;
-            self.best_order = Some(inc.order().clone());
-            self.publish_best();
+            self.record_best(inc.order().rels());
         }
         c
     }

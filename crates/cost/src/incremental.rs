@@ -82,7 +82,9 @@
 //! }
 //! ```
 
-use ljqo_catalog::{EdgeId, Query};
+use std::sync::Arc;
+
+use ljqo_catalog::{CompiledQuery, EdgeId, Query};
 use ljqo_plan::{JoinOrder, Move};
 
 use crate::estimate::clamp_card;
@@ -152,6 +154,12 @@ struct Pending {
 pub struct IncrementalEvaluator<'a> {
     query: &'a Query,
     model: &'a dyn CostModel,
+    /// Compiled snapshot of `query`: CSR adjacency with pre-resolved
+    /// other-endpoints and selectivities, the backing store of the hot
+    /// [`IncrementalEvaluator::static_step`] loop. Iterates edges in
+    /// exactly [`ljqo_catalog::JoinGraph::incident`] order, so compiled
+    /// selectivity folds stay bit-identical to the edge-chasing walk.
+    compiled: Arc<CompiledQuery>,
     estimator: Estimator,
     order: JoinOrder,
     /// Position of each relation in `order` (`usize::MAX` when absent, as
@@ -170,30 +178,57 @@ pub struct IncrementalEvaluator<'a> {
     cand_cost: Vec<f64>,
     cand_card: Vec<f64>,
     scratch_edges: Vec<(EdgeId, f64, f64)>,
+    /// Propagated mode: reusable walk state for evaluations, resumed from
+    /// a memoized snapshot via [`DistinctState::copy_from`] instead of a
+    /// per-evaluation clone. `Option` so it can be moved out during the
+    /// walk (the vectors inside keep their capacity either way).
+    scratch_state: Option<DistinctState>,
     pending: Option<Pending>,
 }
 
 impl<'a> IncrementalEvaluator<'a> {
-    /// Build the memoized state for `order` (one full walk, `O(N·deg)`).
+    /// Build the memoized state for `order` (one full walk, `O(N·deg)`),
+    /// compiling the query on the way in. Callers that already hold a
+    /// [`CompiledQuery`] (e.g. [`crate::Evaluator`]) should use
+    /// [`IncrementalEvaluator::with_compiled`] to share it instead.
     pub fn new(
         query: &'a Query,
         model: &'a dyn CostModel,
         estimator: Estimator,
         order: JoinOrder,
     ) -> Self {
+        let compiled = Arc::new(CompiledQuery::new(query));
+        Self::with_compiled(query, model, estimator, order, compiled)
+    }
+
+    /// As [`IncrementalEvaluator::new`], but reusing an existing compiled
+    /// snapshot of `query` (it must describe the same query).
+    pub fn with_compiled(
+        query: &'a Query,
+        model: &'a dyn CostModel,
+        estimator: Estimator,
+        order: JoinOrder,
+        compiled: Arc<CompiledQuery>,
+    ) -> Self {
+        debug_assert_eq!(compiled.n_relations(), query.n_relations());
         let n = order.len();
         let mut inc = IncrementalEvaluator {
             query,
             model,
+            compiled,
             estimator,
             order,
             pos: vec![usize::MAX; query.n_relations()],
             prefix_cost: vec![0.0; n],
             prefix_card: vec![0.0; n],
             snapshots: Vec::new(),
-            cand_cost: Vec::new(),
-            cand_card: Vec::new(),
+            cand_cost: Vec::with_capacity(n),
+            cand_card: Vec::with_capacity(n),
             scratch_edges: Vec::new(),
+            scratch_state: match estimator {
+                Estimator::Static => None,
+                Estimator::Propagated => Some(DistinctState::new(query)),
+            },
             pending: None,
         };
         inc.rebuild();
@@ -356,18 +391,19 @@ impl<'a> IncrementalEvaluator<'a> {
     #[inline]
     fn static_step(&self, q: usize, outer: f64, placed_pos: impl Fn(usize) -> usize) -> (f64, f64) {
         let inner = self.order.at(q);
-        let inner_card = self.query.cardinality(inner);
-        let graph = self.query.graph();
-        // Mirrors `estimate::selectivity_into`: same incident-edge
-        // iteration, same multiplication order — required for bit-exact
-        // agreement with the full walk.
+        let cq = &*self.compiled;
+        let inner_card = cq.cardinality(inner);
+        // Mirrors `estimate::selectivity_into`: the compiled slots iterate
+        // incident edges in exactly `JoinGraph::incident` order with the
+        // same multiplication order — required for bit-exact agreement
+        // with the full walk. The CSR layout pre-resolves each edge's
+        // other endpoint and selectivity into flat arrays, so the loop
+        // body is two array reads and a position compare.
         let mut sel: Option<f64> = None;
-        for &eid in graph.incident(inner) {
-            let e = graph.edge(eid);
-            if let Some(o) = e.other(inner) {
-                if placed_pos(self.pos[o.index()]) < q {
-                    *sel.get_or_insert(1.0) *= e.selectivity;
-                }
+        for s in cq.slot_range(inner) {
+            let o = cq.slot_other(s);
+            if placed_pos(self.pos[o.index()]) < q {
+                *sel.get_or_insert(1.0) *= cq.slot_selectivity(s);
             }
         }
         let output = clamp_card(outer * inner_card * sel.unwrap_or(1.0));
@@ -444,21 +480,24 @@ impl<'a> IncrementalEvaluator<'a> {
         self.cand_cost.clear();
         self.cand_card.clear();
         // The distinct-value state mutates at every step (Yao shrinkage
-        // touches all columns), so the tail cannot be reused: clone the
-        // snapshot at the window start and re-walk the whole suffix.
-        let (mut cost, mut card, mut state) = if lo == 0 {
-            let mut st = DistinctState::new(self.query);
-            st.admit_first(self.query, self.order.at(0));
+        // touches the present columns), so the tail cannot be reused:
+        // resume the reusable scratch state from the snapshot at the
+        // window start (allocation-free — `copy_from` reuses the scratch's
+        // full-capacity buffers) and re-walk the whole suffix.
+        let mut state = self
+            .scratch_state
+            .take()
+            .expect("propagated evaluator always owns a scratch state");
+        let (mut cost, mut card) = if lo == 0 {
+            state.reset();
+            state.admit_first(self.query, self.order.at(0));
             let c0 = clamp_card(self.query.cardinality(self.order.at(0)));
             self.cand_cost.push(0.0);
             self.cand_card.push(c0);
-            (0.0, c0, st)
+            (0.0, c0)
         } else {
-            (
-                self.prefix_cost[lo - 1],
-                self.prefix_card[lo - 1],
-                self.snapshots[lo - 1].clone(),
-            )
+            state.copy_from(&self.snapshots[lo - 1]);
+            (self.prefix_cost[lo - 1], self.prefix_card[lo - 1])
         };
         let mut joined = std::mem::take(&mut self.scratch_edges);
         for q in lo.max(1)..n {
@@ -481,6 +520,7 @@ impl<'a> IncrementalEvaluator<'a> {
             card = output;
         }
         self.scratch_edges = joined;
+        self.scratch_state = Some(state);
         self.pending = Some(Pending {
             mv: *mv,
             lo,
@@ -516,10 +556,21 @@ impl<'a> IncrementalEvaluator<'a> {
                 }
             }
             Estimator::Propagated => {
-                let mut state = DistinctState::new(self.query);
+                // Size the snapshot store with full-capacity states (via
+                // `DistinctState::new`, never `clone`, whose vectors carry
+                // exact-length capacities) so later `copy_from` writes can
+                // never reallocate.
+                self.snapshots.truncate(n);
+                while self.snapshots.len() < n {
+                    self.snapshots.push(DistinctState::new(self.query));
+                }
+                let mut state = self
+                    .scratch_state
+                    .take()
+                    .expect("propagated evaluator always owns a scratch state");
+                state.reset();
                 state.admit_first(self.query, self.order.at(0));
-                self.snapshots.clear();
-                self.snapshots.push(state.clone());
+                self.snapshots[0].copy_from(&state);
                 let mut joined = std::mem::take(&mut self.scratch_edges);
                 for q in 1..n {
                     let inner = self.order.at(q);
@@ -538,9 +589,10 @@ impl<'a> IncrementalEvaluator<'a> {
                     state.place(self.query, inner, output, &joined);
                     self.prefix_cost[q] = self.prefix_cost[q - 1] + step;
                     self.prefix_card[q] = output;
-                    self.snapshots.push(state.clone());
+                    self.snapshots[q].copy_from(&state);
                 }
                 self.scratch_edges = joined;
+                self.scratch_state = Some(state);
             }
         }
     }
@@ -549,24 +601,28 @@ impl<'a> IncrementalEvaluator<'a> {
     /// (after a commit adopted new prefix cardinalities).
     fn rebuild_snapshots_from(&mut self, from: usize) {
         let n = self.order.len();
-        self.snapshots.truncate(n);
-        let mut state = if from == 0 {
-            let mut st = DistinctState::new(self.query);
-            st.admit_first(self.query, self.order.at(0));
-            self.snapshots[0] = st.clone();
-            st
+        debug_assert_eq!(self.snapshots.len(), n);
+        let mut state = self
+            .scratch_state
+            .take()
+            .expect("propagated evaluator always owns a scratch state");
+        if from == 0 {
+            state.reset();
+            state.admit_first(self.query, self.order.at(0));
+            self.snapshots[0].copy_from(&state);
         } else {
-            self.snapshots[from - 1].clone()
-        };
+            state.copy_from(&self.snapshots[from - 1]);
+        }
         let mut joined = std::mem::take(&mut self.scratch_edges);
         for q in from.max(1)..n {
             let inner = self.order.at(q);
             joined.clear();
             let _sel = state.join_selectivity(self.query, inner, &mut joined);
             state.place(self.query, inner, self.prefix_card[q], &joined);
-            self.snapshots[q] = state.clone();
+            self.snapshots[q].copy_from(&state);
         }
         self.scratch_edges = joined;
+        self.scratch_state = Some(state);
     }
 }
 

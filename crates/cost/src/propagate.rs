@@ -56,14 +56,34 @@ pub struct DistinctState {
     /// side. NaN = column not present yet.
     distinct: Vec<[f64; 2]>,
     placed: Vec<bool>,
+    /// Flat indices (`2·edge + side`) of the present (non-NaN) columns, in
+    /// admission order. Lets [`DistinctState::shrink_all`] touch only the
+    /// columns that exist — O(present) per join step instead of O(E) —
+    /// which is what makes a propagated walk O(N + Σ placed-columns)
+    /// rather than O(N·E). Yao shrinkage is applied to each slot
+    /// independently, so the iteration order does not affect the values
+    /// and the sparse scan is bit-identical to a dense one (see
+    /// [`DenseDistinctState`], the differential reference).
+    ///
+    /// A column enters the set exactly once (a relation is admitted at
+    /// most once per walk, and [`DistinctState::place`]'s domain merge
+    /// never turns a NaN slot finite), so no dedup pass is needed.
+    present: Vec<u32>,
 }
 
 impl DistinctState {
     /// Empty state for `query`: nothing placed, no columns present.
+    ///
+    /// The present-set vector is allocated at its worst-case capacity
+    /// (two columns per edge) up front, so the state never reallocates —
+    /// a prerequisite for the allocation-free steady state of
+    /// [`crate::IncrementalEvaluator`].
     pub fn new(query: &Query) -> Self {
+        let n_edges = query.graph().edges().len();
         DistinctState {
-            distinct: vec![[f64::NAN; 2]; query.graph().edges().len()],
+            distinct: vec![[f64::NAN; 2]; n_edges],
             placed: vec![false; query.n_relations()],
+            present: Vec::with_capacity(2 * n_edges),
         }
     }
 
@@ -75,21 +95,52 @@ impl DistinctState {
     fn admit(&mut self, query: &Query, rel: RelId) {
         for &eid in query.graph().incident(rel) {
             let side = Self::side(query, eid, rel);
+            debug_assert!(
+                self.distinct[eid.index()][side].is_nan(),
+                "column admitted twice"
+            );
             self.distinct[eid.index()][side] =
                 query.graph().edge(eid).distinct_on(rel).unwrap_or(1.0);
+            self.present.push((2 * eid.index() + side) as u32);
         }
         self.placed[rel.index()] = true;
     }
 
     /// Shrink every present column after a row-count change to `rows`.
     fn shrink_all(&mut self, rows: f64) {
-        for slots in &mut self.distinct {
-            for d in slots {
-                if !d.is_nan() {
-                    *d = yao(*d, rows).min(*d);
-                }
-            }
+        for &slot in &self.present {
+            let d = &mut self.distinct[(slot >> 1) as usize][(slot & 1) as usize];
+            debug_assert!(!d.is_nan());
+            *d = yao(*d, rows).min(*d);
         }
+    }
+
+    /// Return to the empty state (nothing placed, no columns present)
+    /// without releasing any allocation. O(present + N).
+    pub fn reset(&mut self) {
+        for &slot in &self.present {
+            self.distinct[(slot >> 1) as usize][(slot & 1) as usize] = f64::NAN;
+        }
+        self.present.clear();
+        self.placed.fill(false);
+    }
+
+    /// Overwrite this state with `src`, reusing the existing allocations
+    /// (the allocation-free counterpart of `*self = src.clone()`, used by
+    /// the incremental evaluator to resume walks from memoized
+    /// snapshots). Both states must describe the same query.
+    pub fn copy_from(&mut self, src: &DistinctState) {
+        self.distinct.clone_from(&src.distinct);
+        self.placed.clone_from(&src.placed);
+        self.present.clone_from(&src.present);
+    }
+
+    /// The current distinct estimate of the given column (`NaN` when the
+    /// column is not present yet). For differential tests against the
+    /// dense reference.
+    #[inline]
+    pub fn distinct(&self, eid: EdgeId, side: usize) -> f64 {
+        self.distinct[eid.index()][side]
     }
 
     /// Place the leading relation of an order (no join happens).
@@ -160,6 +211,9 @@ impl DistinctState {
 #[derive(Debug)]
 pub struct PropagatingWalker {
     state: DistinctState,
+    /// Scratch for the per-step contributing-edge list, reused across
+    /// walks so a warm walker performs no heap allocation.
+    joined_edges: Vec<(EdgeId, f64, f64)>,
 }
 
 impl PropagatingWalker {
@@ -167,26 +221,30 @@ impl PropagatingWalker {
     pub fn new(query: &Query) -> Self {
         PropagatingWalker {
             state: DistinctState::new(query),
+            joined_edges: Vec::new(),
         }
     }
 
     /// Walk `order`, calling `f` per join step; returns the final
-    /// cardinality. The walker is consumed (create a fresh one per walk).
-    pub fn walk<F: FnMut(&JoinStep)>(mut self, query: &Query, order: &[RelId], mut f: F) -> f64 {
+    /// cardinality. The walker resets itself first, so one walker can be
+    /// reused across walks (allocation-free once its scratch is warm).
+    pub fn walk<F: FnMut(&JoinStep)>(&mut self, query: &Query, order: &[RelId], mut f: F) -> f64 {
+        self.state.reset();
         let mut iter = order.iter();
         let Some(&first) = iter.next() else {
             return 0.0;
         };
         self.state.admit_first(query, first);
         let mut card = clamp_card(query.cardinality(first));
-        let mut joined_edges: Vec<(EdgeId, f64, f64)> = Vec::new();
 
         for &inner in iter {
             let inner_card = query.cardinality(inner);
             // Gather the edges joining `inner` to the placed set, with the
             // CURRENT outer-side distinct counts.
-            joined_edges.clear();
-            let sel = self.state.join_selectivity(query, inner, &mut joined_edges);
+            self.joined_edges.clear();
+            let sel = self
+                .state
+                .join_selectivity(query, inner, &mut self.joined_edges);
             let output = clamp_card(card * inner_card * sel.unwrap_or(1.0));
             f(&JoinStep {
                 inner,
@@ -197,7 +255,7 @@ impl PropagatingWalker {
             });
 
             // Admit the inner's columns, then update distinct counts.
-            self.state.place(query, inner, output, &joined_edges);
+            self.state.place(query, inner, output, &self.joined_edges);
             card = output;
         }
         card
@@ -240,6 +298,106 @@ pub fn intermediate_sizes_propagated(query: &Query, order: &[RelId]) -> Vec<f64>
     let mut sizes = Vec::with_capacity(order.len().saturating_sub(1));
     PropagatingWalker::new(query).walk(query, order, |s| sizes.push(s.output_card));
     sizes
+}
+
+/// Dense reference implementation of [`DistinctState`]'s bookkeeping.
+///
+/// [`DistinctState`] tracks the set of present columns explicitly so its
+/// per-step Yao shrinkage is O(present); this type keeps the original
+/// "scan every slot, skip NaN" formulation. Because Yao shrinkage is
+/// applied per slot with no cross-slot interaction, the two must agree
+/// **bit for bit** after any identical operation sequence — the
+/// `compiled_props` differential suite replays random walks through both
+/// and asserts exactly that. Not used by any optimizer path.
+#[derive(Debug, Clone)]
+pub struct DenseDistinctState {
+    distinct: Vec<[f64; 2]>,
+    placed: Vec<bool>,
+}
+
+impl DenseDistinctState {
+    /// Empty state for `query`: nothing placed, no columns present.
+    pub fn new(query: &Query) -> Self {
+        DenseDistinctState {
+            distinct: vec![[f64::NAN; 2]; query.graph().edges().len()],
+            placed: vec![false; query.n_relations()],
+        }
+    }
+
+    fn admit(&mut self, query: &Query, rel: RelId) {
+        for &eid in query.graph().incident(rel) {
+            let side = DistinctState::side(query, eid, rel);
+            self.distinct[eid.index()][side] =
+                query.graph().edge(eid).distinct_on(rel).unwrap_or(1.0);
+        }
+        self.placed[rel.index()] = true;
+    }
+
+    fn shrink_all(&mut self, rows: f64) {
+        for slots in &mut self.distinct {
+            for d in slots {
+                if !d.is_nan() {
+                    *d = yao(*d, rows).min(*d);
+                }
+            }
+        }
+    }
+
+    /// As [`DistinctState::admit_first`].
+    pub fn admit_first(&mut self, query: &Query, rel: RelId) {
+        self.admit(query, rel);
+    }
+
+    /// As [`DistinctState::join_selectivity`].
+    pub fn join_selectivity(
+        &self,
+        query: &Query,
+        inner: RelId,
+        joined: &mut Vec<(EdgeId, f64, f64)>,
+    ) -> Option<f64> {
+        let mut sel: Option<f64> = None;
+        for &eid in query.graph().incident(inner) {
+            let e = query.graph().edge(eid);
+            let Some(other) = e.other(inner) else {
+                continue;
+            };
+            if !self.placed[other.index()] {
+                continue;
+            }
+            let outer_side = DistinctState::side(query, eid, other);
+            let d_outer = self.distinct[eid.index()][outer_side];
+            let d_inner = e.distinct_on(inner).unwrap_or(1.0);
+            let s = 1.0 / d_outer.max(d_inner).max(1.0);
+            *sel.get_or_insert(1.0) *= s;
+            joined.push((eid, d_outer, d_inner));
+        }
+        sel
+    }
+
+    /// As [`DistinctState::place`].
+    pub fn place(
+        &mut self,
+        query: &Query,
+        inner: RelId,
+        output: f64,
+        joined: &[(EdgeId, f64, f64)],
+    ) {
+        self.admit(query, inner);
+        for &(eid, d_outer, d_inner) in joined {
+            let merged = d_outer.min(d_inner);
+            self.distinct[eid.index()] = [
+                non_nan_min(self.distinct[eid.index()][0], merged),
+                non_nan_min(self.distinct[eid.index()][1], merged),
+            ];
+        }
+        self.shrink_all(output);
+    }
+
+    /// As [`DistinctState::distinct`] (`NaN` = column not present).
+    #[inline]
+    pub fn distinct(&self, eid: EdgeId, side: usize) -> f64 {
+        self.distinct[eid.index()][side]
+    }
 }
 
 #[cfg(test)]

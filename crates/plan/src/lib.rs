@@ -32,3 +32,4 @@ pub use moves::{Move, MoveGenerator, MoveKind, MoveSet};
 pub use order::{JoinOrder, Plan};
 pub use random::random_valid_order;
 pub use tree::JoinTree;
+pub use validity::BitsetChecker;

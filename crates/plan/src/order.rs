@@ -80,6 +80,29 @@ impl JoinOrder {
         self.0.insert(to, r);
     }
 
+    /// Overwrite this order with `other`, reusing the existing allocation
+    /// when it is large enough (the allocation-free counterpart of
+    /// `*self = other.clone()` for best-so-far tracking in hot loops).
+    pub fn copy_from(&mut self, other: &JoinOrder) {
+        self.0.clone_from(&other.0);
+    }
+
+    /// Overwrite this order with a raw relation slice, reusing the
+    /// existing allocation. The slice must be duplicate-free (verified in
+    /// debug builds, like [`JoinOrder::new`]).
+    pub fn copy_from_rels(&mut self, rels: &[RelId]) {
+        debug_assert!(
+            {
+                let mut sorted = rels.to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "join order contains duplicate relations"
+        );
+        self.0.clear();
+        self.0.extend_from_slice(rels);
+    }
+
     /// Convert to the equivalent left-deep join tree.
     pub fn to_tree(&self) -> JoinTree {
         JoinTree::left_deep(&self.0)

@@ -5,7 +5,7 @@
 //! paper restricts all search to the space of valid join trees; the move
 //! set and the random state generator both rely on these checks.
 
-use ljqo_catalog::{JoinGraph, RelId};
+use ljqo_catalog::{CompiledQuery, JoinGraph, RelId};
 
 /// Whether `order` is a valid join order under `graph`.
 ///
@@ -86,6 +86,112 @@ impl ValidityChecker {
     }
 }
 
+/// Bitset-backed validity checker over a [`CompiledQuery`].
+///
+/// Equivalent to [`ValidityChecker`] but represents the placed set as
+/// `⌈n/64⌉` machine words, so each position's connectivity test is a
+/// branch-light word-AND against the relation's precompiled neighbor mask
+/// ([`CompiledQuery::connects`]) instead of an `O(deg)` edge chase. The
+/// checker allocates its words once and never again.
+///
+/// On top of the full check it offers [`BitsetChecker::window_valid`], a
+/// *windowed* re-check for move filtering: a move permutes relations only
+/// within `[first_touched(), last_touched()]`, and a position's validity
+/// depends only on the **set** of relations placed before it — so when the
+/// pre-move order was valid, revalidating the window alone is exact, making
+/// move filtering `O(window · n/64)` instead of `O(Σ deg)`.
+#[derive(Debug)]
+pub struct BitsetChecker {
+    placed: Vec<u64>,
+}
+
+impl BitsetChecker {
+    /// Create a checker for graphs with up to `n_relations` relations.
+    pub fn new(n_relations: usize) -> Self {
+        BitsetChecker {
+            placed: vec![0u64; n_relations.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Equivalent to [`is_valid`]: whether `order` is a valid join order.
+    pub fn is_valid(&mut self, compiled: &CompiledQuery, order: &[RelId]) -> bool {
+        debug_assert_eq!(self.placed.len(), compiled.words_per_rel());
+        if compiled.words_per_rel() == 1 {
+            // ≤ 64 relations: the whole placed set lives in one register.
+            let mut placed = 0u64;
+            let mut iter = order.iter();
+            if let Some(&first) = iter.next() {
+                placed |= 1u64 << first.index();
+            }
+            for &r in iter {
+                if compiled.neighbor_word(r) & placed == 0 {
+                    return false;
+                }
+                placed |= 1u64 << r.index();
+            }
+            return true;
+        }
+        self.placed.fill(0);
+        let mut iter = order.iter();
+        if let Some(&first) = iter.next() {
+            compiled.set_placed(&mut self.placed, first);
+        }
+        for &r in iter {
+            if !compiled.connects(r, &self.placed) {
+                return false;
+            }
+            compiled.set_placed(&mut self.placed, r);
+        }
+        true
+    }
+
+    /// Whether `order` — known to be valid *before* a move that only
+    /// permuted positions `lo..=hi` — is still valid, by revalidating the
+    /// window alone.
+    ///
+    /// Exact under that precondition: positions before `lo` see an
+    /// unchanged prefix, and positions after `hi` see the same *set* of
+    /// earlier relations (the move is a permutation of the window), which
+    /// is all their connectivity test depends on. Callers perturbing an
+    /// order of unknown validity must use [`BitsetChecker::is_valid`].
+    pub fn window_valid(
+        &mut self,
+        compiled: &CompiledQuery,
+        order: &[RelId],
+        lo: usize,
+        hi: usize,
+    ) -> bool {
+        debug_assert_eq!(self.placed.len(), compiled.words_per_rel());
+        debug_assert!(hi < order.len());
+        let start = lo.max(1);
+        if compiled.words_per_rel() == 1 {
+            // ≤ 64 relations: one register, no memory traffic at all.
+            let mut placed = 0u64;
+            for &r in &order[..start] {
+                placed |= 1u64 << r.index();
+            }
+            for &r in &order[start..=hi] {
+                if compiled.neighbor_word(r) & placed == 0 {
+                    return false;
+                }
+                placed |= 1u64 << r.index();
+            }
+            return true;
+        }
+        self.placed.fill(0);
+        for &r in &order[..start] {
+            compiled.set_placed(&mut self.placed, r);
+        }
+        for &r in &order[start..=hi] {
+            if !compiled.connects(r, &self.placed) {
+                return false;
+            }
+            compiled.set_placed(&mut self.placed, r);
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +252,53 @@ mod tests {
         for _ in 0..3 {
             assert!(c.is_valid(&g, &good));
             assert!(!c.is_valid(&g, &bad));
+        }
+    }
+
+    #[test]
+    fn bitset_checker_matches_free_function() {
+        let g = chain_graph(5);
+        let cards = vec![10.0; 5];
+        let cq = CompiledQuery::from_graph(&g, cards);
+        let mut c = BitsetChecker::new(5);
+        for order in [
+            ids(&[0, 1, 2, 3, 4]),
+            ids(&[2, 3, 1, 0, 4]),
+            ids(&[2, 4, 3, 1, 0]),
+            ids(&[0, 2, 1, 3, 4]),
+            ids(&[4]),
+            ids(&[]),
+        ] {
+            assert_eq!(c.is_valid(&cq, &order), is_valid(&g, &order), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn window_valid_matches_full_check_after_window_moves() {
+        // Star with hub 0 — most permutations of a window are invalid.
+        let g = JoinGraph::new(
+            6,
+            (1..6)
+                .map(|i| JoinEdge::from_distincts(0u32, i as u32, 10.0, 10.0))
+                .collect(),
+        );
+        let cq = CompiledQuery::from_graph(&g, vec![10.0; 6]);
+        let mut c = BitsetChecker::new(6);
+        let valid = ids(&[2, 0, 1, 4, 3, 5]);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let mut perturbed = valid.clone();
+                perturbed.swap(i, j);
+                let (lo, hi) = (i.min(j), i.max(j));
+                assert_eq!(
+                    c.window_valid(&cq, &perturbed, lo, hi),
+                    is_valid(&g, &perturbed),
+                    "swap {i} <-> {j}"
+                );
+            }
         }
     }
 
