@@ -91,8 +91,20 @@ impl QueryBuilder {
     /// uniformity assumption), clamped to each side's effective cardinality
     /// — a join column cannot hold more distinct values than the relation
     /// has tuples.
+    ///
+    /// A selectivity outside `(0, 1]` (including NaN) poisons the builder
+    /// at the call site: deferring it to `Query::new` would first derive
+    /// nonsense distinct counts from it and report those instead of the
+    /// actual mistake.
     #[must_use]
     pub fn join(mut self, a: &str, b: &str, selectivity: f64) -> Self {
+        if !(selectivity > 0.0 && selectivity <= 1.0) {
+            self.poison(CatalogError::BadSelectivity {
+                context: format!("join {a}-{b} in QueryBuilder"),
+                value: selectivity,
+            });
+            return self;
+        }
         let (Some(ia), Some(ib)) = (self.id_of(a), self.id_of(b)) else {
             return self;
         };
@@ -105,11 +117,37 @@ impl QueryBuilder {
 
     /// Add a join predicate by relation names with distinct-value counts;
     /// the selectivity follows `1 / max(D_a, D_b)`.
+    ///
+    /// Distinct counts are validated at the call site instead of being
+    /// silently floored: a non-finite or sub-1 count poisons the builder
+    /// with [`CatalogError::NonFinite`], and a count exceeding the
+    /// relation's base cardinality with
+    /// [`CatalogError::DistinctExceedsCardinality`] — so a perturbed or
+    /// hand-built catalog cannot smuggle impossible statistics past the
+    /// builder.
     #[must_use]
     pub fn join_on_distincts(mut self, a: &str, b: &str, distinct_a: f64, distinct_b: f64) -> Self {
         let (Some(ia), Some(ib)) = (self.id_of(a), self.id_of(b)) else {
             return self;
         };
+        for (rel, name, distinct) in [(ia, a, distinct_a), (ib, b, distinct_b)] {
+            if !distinct.is_finite() || distinct < 1.0 {
+                self.poison(CatalogError::NonFinite {
+                    context: format!("distinct count on {name} of join {a}-{b} in QueryBuilder"),
+                    value: distinct,
+                });
+                return self;
+            }
+            let cardinality = self.relations[rel.index()].base_cardinality as f64;
+            if distinct > cardinality * (1.0 + 1e-9) {
+                self.poison(CatalogError::DistinctExceedsCardinality {
+                    rel,
+                    distinct,
+                    cardinality,
+                });
+                return self;
+            }
+        }
         self.edges
             .push(JoinEdge::from_distincts(ia, ib, distinct_a, distinct_b));
         self
@@ -190,6 +228,70 @@ mod tests {
             .relation("a", 10)
             .join("a", "zzz", 0.5)
             .join("a", "yyy", 0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CatalogError::UnknownRelation("zzz".into()));
+    }
+
+    #[test]
+    fn out_of_range_selectivity_poisons_the_join_call() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let err = QueryBuilder::new()
+                .relation("a", 10)
+                .relation("b", 20)
+                .join("a", "b", bad)
+                .build()
+                .unwrap_err();
+            match err {
+                CatalogError::BadSelectivity { context, value } => {
+                    assert!(context.contains("join a-b"), "context {context:?}");
+                    assert!(value.is_nan() == bad.is_nan() && (value == bad || bad.is_nan()));
+                }
+                other => panic!("expected BadSelectivity for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn excessive_distinct_count_poisons_the_builder() {
+        let err = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .join_on_distincts("a", "b", 50.0, 20.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CatalogError::DistinctExceedsCardinality {
+                rel: RelId(0),
+                distinct: 50.0,
+                cardinality: 10.0,
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_distinct_count_poisons_the_builder() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let err = QueryBuilder::new()
+                .relation("a", 10)
+                .relation("b", 20)
+                .join_on_distincts("a", "b", 5.0, bad)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, CatalogError::NonFinite { .. }),
+                "expected NonFinite for {bad}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_join_stat_respects_first_error_wins() {
+        let err = QueryBuilder::new()
+            .relation("a", 10)
+            .join("a", "zzz", 0.5)
+            .join("a", "a", -1.0)
             .build()
             .unwrap_err();
         assert_eq!(err, CatalogError::UnknownRelation("zzz".into()));

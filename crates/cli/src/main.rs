@@ -1,10 +1,12 @@
 //! `ljqo-opt` — optimize a join query described in JSON.
 //!
 //! ```text
-//! ljqo-opt QUERY.json [--method IAI] [--model memory|disk|multi]
+//! ljqo-opt [QUERY.json] [--method IAI] [--model memory|disk|multi]
 //!          [--tau 9] [--kappa 5] [--seed 0] [--deadline-ms N]
 //!          [--workers N] [--cooperate] [--portfolio]
 //!          [--cache-entries N] [--cache-shards N] [--fp-buckets N]
+//!          [--workload-shape star|snowflake|cyclic] [--workload-joins N]
+//!          [--qerror F] [--qerror-mode independent|correlated]
 //!          [--json] [--all-methods]
 //! ```
 //!
@@ -13,6 +15,25 @@
 //! nine methods and prints a comparison table. `--deadline-ms` bounds the
 //! wall-clock time of the search; when it (or a fault in the search)
 //! forces a fallback plan, the degradation is reported in the output.
+//!
+//! Workload generation: instead of a query file, `--workload-shape`
+//! generates a JOB-shaped query (star, snowflake, or cyclic around a
+//! fact table) with `--workload-joins` joins (default 12), seeded by
+//! `--seed`. Exactly one of the positional file and `--workload-shape`
+//! must be given.
+//!
+//! Robustness study: `--qerror F` (F > 1) perturbs the catalog by a
+//! log-uniform factor of up to `F` per statistic before optimizing —
+//! the optimizer sees the *observed* (distorted) catalog, and the
+//! emitted plan and cost refer to it. The always-present `"robustness"`
+//! JSON block then reports the plan's cost re-priced under the *true*
+//! catalog (wired through the plan cache's re-costing path), the
+//! perfect-information reference cost, and the regret
+//! `max(0, true/reference − 1)`. `--qerror-mode` picks independent
+//! per-statistic factors or per-relation correlated ones. `--method
+//! CARDFREE` selects the cardinality-free structural ordering, which
+//! ignores statistics entirely and is therefore immune to the
+//! perturbation.
 //!
 //! Parallel search: `--workers N` fans each component's budget out over
 //! `N` worker threads (same total budget, wall-clock speedup only);
@@ -47,8 +68,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use ljqo::prelude::*;
+use ljqo::robust::{regret_under, regret_under_parallel, RegretSample};
 use ljqo_cli::QueryFile;
 use ljqo_cost::MultiMethodCostModel;
+use ljqo_workload::{generate_job_query, JobShape, JobSpec, PerturbMode, Perturbation};
 
 /// Exit code for unreadable input files.
 const EXIT_IO: u8 = 3;
@@ -73,18 +96,26 @@ struct Options {
     cache_entries: usize,
     cache_shards: usize,
     fp_buckets: u32,
+    workload_shape: Option<JobShape>,
+    workload_joins: usize,
+    qerror: f64,
+    qerror_mode: PerturbMode,
     json: bool,
     all_methods: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ljqo-opt QUERY.json [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI]\n\
-         \x20                       [--model memory|disk|multi] [--tau F] [--kappa F]\n\
-         \x20                       [--seed U64] [--deadline-ms U64] [--workers N]\n\
-         \x20                       [--cooperate] [--portfolio] [--cache-entries N]\n\
-         \x20                       [--cache-shards N] [--fp-buckets N] [--json]\n\
-         \x20                       [--all-methods]"
+        "usage: ljqo-opt [QUERY.json] [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI|CARDFREE]\n\
+         \x20                         [--model memory|disk|multi] [--tau F] [--kappa F]\n\
+         \x20                         [--seed U64] [--deadline-ms U64] [--workers N]\n\
+         \x20                         [--cooperate] [--portfolio] [--cache-entries N]\n\
+         \x20                         [--cache-shards N] [--fp-buckets N]\n\
+         \x20                         [--workload-shape star|snowflake|cyclic]\n\
+         \x20                         [--workload-joins N] [--qerror F]\n\
+         \x20                         [--qerror-mode independent|correlated]\n\
+         \x20                         [--json] [--all-methods]\n\
+         exactly one of QUERY.json and --workload-shape is required"
     );
     std::process::exit(2);
 }
@@ -104,6 +135,10 @@ fn parse_args() -> Options {
         cache_entries: 0,
         cache_shards: 8,
         fp_buckets: 4,
+        workload_shape: None,
+        workload_joins: 12,
+        qerror: 1.0,
+        qerror_mode: PerturbMode::Independent,
         json: false,
         all_methods: false,
     };
@@ -156,6 +191,36 @@ fn parse_args() -> Options {
                     usage()
                 }
             }
+            "--workload-shape" => {
+                let v = value("--workload-shape");
+                opts.workload_shape = Some(JobShape::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown workload shape {v:?}");
+                    usage()
+                }));
+            }
+            "--workload-joins" => {
+                opts.workload_joins = value("--workload-joins")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if opts.workload_joins == 0 {
+                    eprintln!("error: --workload-joins must be at least 1");
+                    usage()
+                }
+            }
+            "--qerror" => {
+                opts.qerror = value("--qerror").parse().unwrap_or_else(|_| usage());
+                if !opts.qerror.is_finite() || opts.qerror < 1.0 {
+                    eprintln!("error: --qerror must be a finite value >= 1");
+                    usage()
+                }
+            }
+            "--qerror-mode" => {
+                let v = value("--qerror-mode");
+                opts.qerror_mode = PerturbMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown q-error mode {v:?}");
+                    usage()
+                });
+            }
             "--json" => opts.json = true,
             "--all-methods" => opts.all_methods = true,
             "--help" | "-h" => usage(),
@@ -168,7 +233,9 @@ fn parse_args() -> Options {
             }
         }
     }
-    if opts.input.is_empty() {
+    if opts.input.is_empty() == opts.workload_shape.is_none() {
+        // Neither (nothing to optimize) or both (ambiguous source).
+        eprintln!("error: give exactly one of QUERY.json and --workload-shape");
         usage();
     }
     opts
@@ -210,6 +277,25 @@ fn cache_json(
     })
 }
 
+/// The always-present `"robustness"` object of `--json` output. When no
+/// q-error is injected every measurement is zero and `replay` is
+/// `"off"`, so the schema is identical either way and scripts can key on
+/// `enabled` — the same contract as the cache block.
+fn robustness_json(sample: Option<&RegretSample>, opts: &Options) -> ljqo_json::Value {
+    ljqo_json::json!({
+        "enabled": sample.is_some(),
+        "qerror": opts.qerror,
+        "mode": opts.qerror_mode.name(),
+        "workload_shape": opts.workload_shape.map(|s| s.name()).unwrap_or("file"),
+        "observed_cost": sample.map(|s| s.observed_cost).unwrap_or(0.0),
+        "true_cost": sample.map(|s| s.true_cost).unwrap_or(0.0),
+        "reference_cost": sample.map(|s| s.reference_cost).unwrap_or(0.0),
+        "regret": sample.map(|s| s.regret).unwrap_or(0.0),
+        "replay": sample.map(|s| s.replay.name()).unwrap_or("off"),
+        "solve_degradation": sample.map(|s| s.degradation.label()).unwrap_or("none"),
+    })
+}
+
 fn exit_for(err: &OptError) -> ExitCode {
     match err {
         OptError::Catalog(_) => ExitCode::from(EXIT_CATALOG),
@@ -219,27 +305,37 @@ fn exit_for(err: &OptError) -> ExitCode {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let text = match std::fs::read_to_string(&opts.input) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.input);
-            return ExitCode::from(EXIT_IO);
+    // The TRUE catalog: read from the file, or generated JOB-shaped.
+    let truth = if let Some(shape) = opts.workload_shape {
+        generate_job_query(&JobSpec::new(shape), opts.workload_joins, opts.seed)
+    } else {
+        let text = match std::fs::read_to_string(&opts.input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", opts.input);
+                return ExitCode::from(EXIT_IO);
+            }
+        };
+        let file = match QueryFile::from_json(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_JSON);
+            }
+        };
+        match file.into_query() {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_CATALOG);
+            }
         }
     };
-    let file = match QueryFile::from_json(&text) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(EXIT_JSON);
-        }
-    };
-    let query = match file.into_query() {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(EXIT_CATALOG);
-        }
-    };
+    // The catalog the optimizer sees: q-error-distorted when requested.
+    let perturbation =
+        (opts.qerror > 1.0).then(|| Perturbation::new(opts.qerror, opts.qerror_mode, opts.seed));
+    let observed = perturbation.as_ref().map(|p| p.observed(&truth));
+    let query = observed.clone().unwrap_or_else(|| truth.clone());
     let model = model_for(&opts.model);
 
     let config_for = |method: Method| {
@@ -321,8 +417,26 @@ fn main() -> ExitCode {
             return exit_for(&e);
         }
     };
+    // The robustness measurement: optimize against the observed catalog,
+    // replay against the truth, compare with perfect information.
+    let sample: Option<RegretSample> = if perturbation.is_some() {
+        let measured = match &parallelism {
+            Some(par) => regret_under_parallel(&truth, &query, model.as_ref(), &config, par),
+            None => regret_under(&truth, &query, model.as_ref(), &config),
+        };
+        match measured {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: robustness study failed: {e}");
+                return exit_for(&e);
+            }
+        }
+    } else {
+        None
+    };
     if opts.json {
         let cache_stats_json = cache_json(cache.as_ref(), cache_outcome, &opts);
+        let robustness = robustness_json(sample.as_ref(), &opts);
         let order: Vec<Vec<String>> = result
             .plan
             .segments
@@ -351,6 +465,7 @@ fn main() -> ExitCode {
             "cooperate": opts.cooperate,
             "workers_failed": result.workers_failed as u64,
             "cache": cache_stats_json,
+            "robustness": robustness,
         });
         println!("{}", out.to_string_pretty());
     } else {
@@ -391,6 +506,22 @@ fn main() -> ExitCode {
                 cache.n_shards(),
                 s.hits,
                 s.misses
+            );
+        }
+        if let Some(s) = &sample {
+            println!(
+                "robustness: q-error {} ({}) injected — believed cost {:.6e}, \
+                 true cost {:.6e}, perfect-information reference {:.6e}",
+                opts.qerror,
+                opts.qerror_mode.name(),
+                s.observed_cost,
+                s.true_cost,
+                s.reference_cost
+            );
+            println!(
+                "regret: {:.4} (cache replay: {})",
+                s.regret,
+                s.replay.name()
             );
         }
         if result.workers_failed > 0 {

@@ -56,11 +56,28 @@ fn run_cli(extra: &[&str]) -> ljqo_json::Value {
     ljqo_json::parse(&String::from_utf8_lossy(&out.stdout)).expect("CLI emits valid JSON")
 }
 
+/// Like [`run_cli`] but with no positional query file — for invocations
+/// that generate their workload via `--workload-shape`.
+fn run_cli_generated(extra: &[&str]) -> ljqo_json::Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_ljqo-opt"))
+        .arg("--json")
+        .args(extra)
+        .output()
+        .expect("CLI binary runs");
+    assert!(
+        out.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    ljqo_json::parse(&String::from_utf8_lossy(&out.stdout)).expect("CLI emits valid JSON")
+}
+
 #[test]
 fn json_schema_matches_the_golden_file() {
-    // Two invocations: caching off (the default) and on. The schema must
-    // be identical either way — the cache block is always present — so
-    // both feed one snapshot.
+    // Three invocations: caching off (the default), caching on, and a
+    // generated workload with an injected q-error. The schema must be
+    // identical every way — the cache and robustness blocks are always
+    // present — so all three feed one snapshot.
     let mut paths = Vec::new();
     key_paths("", &run_cli(&[]), &mut paths);
     key_paths(
@@ -72,6 +89,22 @@ fn json_schema_matches_the_golden_file() {
             "2",
             "--fp-buckets",
             "8",
+        ]),
+        &mut paths,
+    );
+    key_paths(
+        "",
+        &run_cli_generated(&[
+            "--workload-shape",
+            "snowflake",
+            "--workload-joins",
+            "8",
+            "--qerror",
+            "10",
+            "--qerror-mode",
+            "correlated",
+            "--method",
+            "CARDFREE",
         ]),
         &mut paths,
     );
@@ -118,4 +151,74 @@ fn cache_block_reports_the_serving_outcome() {
     assert_eq!(cache.get("enabled").and_then(|v| v.as_bool()), Some(false));
     assert_eq!(cache.get("outcome").and_then(|v| v.as_str()), Some("off"));
     assert_eq!(cache.get("hits").and_then(|v| v.as_u64()), Some(0));
+}
+
+#[test]
+fn robustness_block_reports_the_regret_study() {
+    // No q-error: the block is present but disabled, with zeroed
+    // measurements — same always-present contract as the cache block.
+    let off = run_cli(&[]);
+    let r = off.get("robustness").expect("robustness block present");
+    assert_eq!(r.get("enabled").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(r.get("replay").and_then(|v| v.as_str()), Some("off"));
+    assert_eq!(r.get("regret").and_then(|v| v.as_f64()), Some(0.0));
+    assert_eq!(
+        r.get("workload_shape").and_then(|v| v.as_str()),
+        Some("file")
+    );
+
+    // With an injected q-error on a generated star workload, the study
+    // runs: every measurement is a positive finite cost and the regret
+    // is non-negative.
+    let on = run_cli_generated(&["--workload-shape", "star", "--qerror", "10", "--seed", "5"]);
+    let r = on.get("robustness").expect("robustness block present");
+    assert_eq!(r.get("enabled").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(r.get("qerror").and_then(|v| v.as_f64()), Some(10.0));
+    assert_eq!(
+        r.get("mode").and_then(|v| v.as_str()),
+        Some("independent"),
+        "independent is the default mode"
+    );
+    assert_eq!(
+        r.get("workload_shape").and_then(|v| v.as_str()),
+        Some("star")
+    );
+    for key in ["observed_cost", "true_cost", "reference_cost"] {
+        let v = r.get(key).and_then(|v| v.as_f64()).unwrap();
+        assert!(v.is_finite() && v > 0.0, "{key} = {v}");
+    }
+    let regret = r.get("regret").and_then(|v| v.as_f64()).unwrap();
+    assert!(regret >= 0.0 && regret.is_finite(), "regret = {regret}");
+    let replay = r.get("replay").and_then(|v| v.as_str()).unwrap();
+    assert!(
+        replay == "hit" || replay == "hit_recosted" || replay == "stale",
+        "unexpected replay outcome {replay:?}"
+    );
+
+    // CARDFREE ignores statistics, so its believed and true plan are the
+    // same structural order: the method must run end to end under
+    // perturbation without degradation.
+    let cardfree = run_cli_generated(&[
+        "--workload-shape",
+        "cyclic",
+        "--qerror",
+        "100",
+        "--method",
+        "CARDFREE",
+    ]);
+    assert_eq!(
+        cardfree.get("method").and_then(|v| v.as_str()),
+        Some("CARDFREE")
+    );
+    assert_eq!(
+        cardfree.get("degradation").and_then(|v| v.as_str()),
+        Some("none")
+    );
+    let r = cardfree
+        .get("robustness")
+        .expect("robustness block present");
+    assert_eq!(
+        r.get("solve_degradation").and_then(|v| v.as_str()),
+        Some("none")
+    );
 }

@@ -10,8 +10,9 @@
 //! is panic-isolated with `catch_unwind`, a wall-clock [`Deadline`] can
 //! cap the search regardless of the unit budget, and when a component's
 //! method yields nothing the driver walks a fallback ladder (augmentation
-//! heuristic, then a random valid order) so a valid plan is returned
-//! whenever one exists — flagged with the [`Degradation`] level reached.
+//! heuristic, then the cardinality-free structural order, then a random
+//! valid order) so a valid plan is returned whenever one exists — flagged
+//! with the [`Degradation`] level reached.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -23,13 +24,15 @@ use rand::SeedableRng;
 use ljqo_catalog::{Query, RelId};
 use ljqo_cost::estimate::{clamp_card, final_result_size};
 use ljqo_cost::{sanitize_cost, CostModel, Deadline, Evaluator, JoinCtx, TimeLimit};
-use ljqo_heuristics::AugmentationHeuristic;
+use ljqo_heuristics::{AugmentationHeuristic, CardFreeHeuristic};
 use ljqo_plan::validity::is_valid;
 use ljqo_plan::{random_valid_order, JoinOrder, Plan};
 
 use crate::error::{Degradation, OptError};
 use crate::methods::{Method, MethodRunner};
-use crate::parallel::{run_portfolio, splitmix, ParallelOptions, Parallelism};
+use crate::parallel::{
+    run_portfolio, run_portfolio_robust, splitmix, ParallelOptions, Parallelism,
+};
 
 /// Configuration for [`optimize`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,10 +152,13 @@ struct ComponentOutcome {
 ///
 /// 1. the configured method, panic-isolated, under budget + deadline;
 /// 2. the augmentation heuristic (cheap, deterministic), panic-isolated;
-/// 3. a random valid order — valid by construction, costed on a
-///    best-effort basis (a panicking model yields cost `f64::MAX`).
+/// 3. the cardinality-free structural order — generation consults no
+///    statistics so it survives whatever corrupted the rungs above;
+///    costing is best-effort (a panicking model yields cost `f64::MAX`);
+/// 4. a random valid order — valid by construction, costed on a
+///    best-effort basis.
 ///
-/// Returns `best: None` only if all three rungs fail.
+/// Returns `best: None` only if all four rungs fail.
 fn plan_component(
     query: &Query,
     model: &dyn CostModel,
@@ -207,19 +213,25 @@ fn plan_component(
         }
     }
 
-    component_fallback(query, model, config, comp, rng, &mut outcome);
+    component_fallback(query, model, config, comp, &mut outcome);
     outcome
 }
 
-/// Rungs 2 and 3 of the fallback ladder (augmentation heuristic, then a
-/// random valid order), shared by the sequential and parallel drivers.
-/// Accumulates into `outcome` and stamps the degradation level reached.
+/// Rungs 2–4 of the fallback ladder (augmentation heuristic, structural
+/// order, then a random valid order), shared by the sequential and
+/// parallel drivers. Accumulates into `outcome` and stamps the
+/// degradation level reached.
+///
+/// The random rung derives its RNG from `config.seed` and the
+/// component's identity — *not* from the shared method RNG. The method
+/// RNG's state depends on where the search stopped, and under a
+/// wall-clock [`Deadline`] that point is machine-dependent, which used
+/// to make fallback plans non-reproducible across same-seed runs.
 fn component_fallback(
     query: &Query,
     model: &dyn CostModel,
     config: &OptimizerConfig,
     comp: &[RelId],
-    rng: &mut SmallRng,
     outcome: &mut ComponentOutcome,
 ) {
     // Rung 2: the augmentation heuristic. Panic-isolated too — it reads
@@ -240,11 +252,37 @@ fn component_fallback(
         }
     }
 
-    // Rung 3: a random valid order. Valid by construction from the join
-    // graph alone; if even costing it panics, it ships with cost MAX.
-    outcome.degradation = Degradation::RandomOrder;
+    // Rung 3: the cardinality-free structural order. Generation reads
+    // only the join graph — missing or non-finite statistics cannot
+    // defeat it — so only the costing is best-effort: if the model
+    // cannot price the order, it ships with cost MAX rather than being
+    // discarded (a deterministic structural plan still beats a random
+    // one).
+    outcome.degradation = Degradation::CardFree;
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        random_valid_order(query.graph(), comp, rng)
+        CardFreeHeuristic.generate(query.graph(), comp)
+    }));
+    if let Ok(order) = attempt {
+        if is_valid(query.graph(), order.rels()) {
+            let cost = catch_unwind(AssertUnwindSafe(|| {
+                sanitize_cost(model.order_cost(query, order.rels()))
+            }))
+            .unwrap_or(f64::MAX);
+            outcome.units_used += comp.len() as u64 + 1;
+            outcome.n_evals += 1;
+            outcome.best = Some((order, cost));
+            return;
+        }
+    }
+
+    // Rung 4: a random valid order, from a fresh RNG seeded by
+    // `config.seed` and the component identity (reproducible regardless
+    // of how much entropy the method consumed before failing).
+    outcome.degradation = Degradation::RandomOrder;
+    let comp_id = comp.first().map(|r| r.0 as u64).unwrap_or(0);
+    let mut fallback_rng = SmallRng::seed_from_u64(splitmix(config.seed ^ 0xFA11_BACC ^ comp_id));
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        random_valid_order(query.graph(), comp, &mut fallback_rng)
     }));
     if let Ok(order) = attempt {
         if is_valid(query.graph(), order.rels()) {
@@ -277,9 +315,10 @@ pub fn optimize(query: &Query, model: &dyn CostModel, config: &OptimizerConfig) 
 /// Robustness: the catalog is revalidated up front (a [`CatalogError`]
 /// becomes [`OptError::Catalog`]); each component's method runs
 /// panic-isolated under the unit budget and the optional wall-clock
-/// deadline, degrading per component to the augmentation heuristic and
-/// then to a random valid order (see [`Degradation`]). An `Err` is
-/// returned only when some component defeats every rung.
+/// deadline, degrading per component to the augmentation heuristic, then
+/// the cardinality-free structural order, then a random valid order (see
+/// [`Degradation`]). An `Err` is returned only when some component
+/// defeats every rung.
 ///
 /// [`CatalogError`]: ljqo_catalog::CatalogError
 pub fn try_optimize(
@@ -397,8 +436,12 @@ pub(crate) fn assemble_plan(
 /// Robustness: worker panics are isolated per worker (tallied in
 /// [`Optimized::workers_failed`]); a component whose *every* worker
 /// fails walks the same fallback ladder as the sequential driver
-/// (augmentation heuristic, then a random valid order), reported via
-/// [`Optimized::degradation`].
+/// (augmentation heuristic, structural order, then a random valid
+/// order), reported via [`Optimized::degradation`]. With
+/// [`Parallelism::robust_portfolio`] the cardinality-free structural
+/// order additionally challenges the portfolio winner on every
+/// component, so the result is never worse than the plain portfolio at
+/// equal budget (see [`crate::parallel::run_portfolio_robust`]).
 pub fn try_optimize_parallel(
     query: &Query,
     model: &(dyn CostModel + Sync),
@@ -415,7 +458,6 @@ pub fn try_optimize_parallel(
         .map(|c| (c.len() * c.len()) as u64)
         .sum::<u64>()
         .max(1);
-    let mut rng = SmallRng::seed_from_u64(config.seed);
     let methods: &[Method] = if parallelism.methods.is_empty() {
         std::slice::from_ref(&config.method)
     } else {
@@ -450,7 +492,11 @@ pub fn try_optimize_parallel(
                 opts = opts.with_stop_threshold(lb * (1.0 + eps));
             }
         }
-        let parallel = run_portfolio(query, model, &config.runner, methods, comp, &opts);
+        let parallel = if parallelism.structural_backstop {
+            run_portfolio_robust(query, model, &config.runner, methods, comp, &opts)
+        } else {
+            run_portfolio(query, model, &config.runner, methods, comp, &opts)
+        };
         let outcome = match parallel {
             Some(r) if is_valid(query.graph(), r.order.rels()) => {
                 workers_failed += r.workers_failed;
@@ -478,7 +524,7 @@ pub fn try_optimize_parallel(
                     deadline_expired: false,
                     degradation: Degradation::None,
                 };
-                component_fallback(query, model, config, comp, &mut rng, &mut outcome);
+                component_fallback(query, model, config, comp, &mut outcome);
                 outcome
             }
         };

@@ -21,10 +21,10 @@ pub enum OptError {
     /// up front and refuses.
     Catalog(CatalogError),
     /// One join-graph component defeated the configured method *and*
-    /// every fallback (augmentation heuristic, random valid order).
-    /// Reaching this means even panic-isolated plain graph traversal
-    /// failed, which indicates a corrupted process rather than a bad
-    /// query.
+    /// every fallback (augmentation heuristic, cardinality-free
+    /// structural order, random valid order). Reaching this means even
+    /// panic-isolated plain graph traversal failed, which indicates a
+    /// corrupted process rather than a bad query.
     NoValidPlan {
         /// Index of the failing component in `query.graph().components()`.
         component: usize,
@@ -69,9 +69,16 @@ pub enum Degradation {
     /// state, or produced no state; the augmentation heuristic supplied
     /// the plan for at least one component.
     Heuristic,
-    /// Even the heuristic failed; a random valid join order was used for
-    /// at least one component. The plan is valid but its quality is
-    /// whatever chance provides.
+    /// The augmentation heuristic failed too (it reads the same catalog
+    /// statistics that defeated the method); the cardinality-free
+    /// structural order supplied the plan for at least one component.
+    /// Generation consults no statistics, so this rung survives missing
+    /// or non-finite stats; only the *costing* of the order is
+    /// best-effort (`f64::MAX` when the model cannot price it).
+    CardFree,
+    /// Even structural ordering failed; a random valid join order was
+    /// used for at least one component. The plan is valid but its
+    /// quality is whatever chance provides.
     RandomOrder,
 }
 
@@ -81,6 +88,7 @@ impl Degradation {
         match self {
             Degradation::None => "none",
             Degradation::Heuristic => "heuristic",
+            Degradation::CardFree => "card-free",
             Degradation::RandomOrder => "random-order",
         }
     }
@@ -104,9 +112,11 @@ mod tests {
     #[test]
     fn degradation_levels_are_ordered() {
         assert!(Degradation::None < Degradation::Heuristic);
-        assert!(Degradation::Heuristic < Degradation::RandomOrder);
+        assert!(Degradation::Heuristic < Degradation::CardFree);
+        assert!(Degradation::CardFree < Degradation::RandomOrder);
         assert!(!Degradation::None.is_degraded());
         assert!(Degradation::Heuristic.is_degraded());
+        assert!(Degradation::CardFree.is_degraded());
     }
 
     #[test]

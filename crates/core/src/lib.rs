@@ -69,6 +69,7 @@ mod methods;
 mod movepath;
 pub mod parallel;
 pub mod prelude;
+pub mod robust;
 mod sa;
 mod sampling;
 pub mod trace;
@@ -82,6 +83,7 @@ pub use error::{Degradation, OptError};
 pub use ii::IterativeImprovement;
 pub use methods::{Method, MethodRunner};
 pub use parallel::{Cooperation, Parallelism};
+pub use robust::{recost_plan, regret_under, regret_under_parallel, RegretSample};
 pub use sa::SimulatedAnnealing;
 pub use sampling::RandomSampling;
 

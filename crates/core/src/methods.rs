@@ -4,7 +4,7 @@ use rand::Rng;
 
 use ljqo_catalog::RelId;
 use ljqo_cost::Evaluator;
-use ljqo_heuristics::{AugmentationHeuristic, KbzHeuristic, LocalImprovement};
+use ljqo_heuristics::{AugmentationHeuristic, CardFreeHeuristic, KbzHeuristic, LocalImprovement};
 use ljqo_plan::{random_valid_order, MoveGenerator};
 
 use crate::ii::IterativeImprovement;
@@ -37,6 +37,12 @@ pub enum Method {
     /// The KBZ states first, then iterative improvement from random
     /// states.
     Kbi,
+    /// Cardinality-free structural ordering (after Simpli-Squared,
+    /// arxiv 2111.00163): one deterministic order from the join graph
+    /// alone, no statistics consulted. Not one of the paper's nine — it
+    /// exists for the robustness study, where it is immune to estimation
+    /// error by construction.
+    Cardfree,
 }
 
 impl Method {
@@ -74,13 +80,16 @@ impl Method {
             Method::Ial => "IAL",
             Method::Agi => "AGI",
             Method::Kbi => "KBI",
+            Method::Cardfree => "CARDFREE",
         }
     }
 
-    /// Parse a paper name (case-insensitive).
+    /// Parse a method name (case-insensitive). Accepts the paper's nine
+    /// names plus the post-paper `CARDFREE`.
     pub fn parse(s: &str) -> Option<Method> {
         Method::ALL
             .into_iter()
+            .chain([Method::Cardfree])
             .find(|m| m.name().eq_ignore_ascii_case(s))
     }
 }
@@ -212,6 +221,15 @@ impl MethodRunner {
                 let _ = self.kbz.generate_all_roots(ev, component);
                 self.ii.run(ev, component, rng);
             }
+            Method::Cardfree => {
+                // One structural order, charged like any constructive
+                // heuristic (N units per generated order), evaluated
+                // once. No RNG, no statistics: the whole method is a
+                // pure function of the join graph.
+                ev.charge(component.len() as u64);
+                let order = CardFreeHeuristic.generate(ev.query().graph(), component);
+                ev.cost(&order);
+            }
         }
     }
 
@@ -338,7 +356,7 @@ mod tests {
 
     #[test]
     fn parse_and_names_roundtrip() {
-        for m in Method::ALL {
+        for m in Method::ALL.into_iter().chain([Method::Cardfree]) {
             assert_eq!(Method::parse(m.name()), Some(m));
             assert_eq!(Method::parse(&m.name().to_lowercase()), Some(m));
         }
@@ -350,5 +368,45 @@ mod tests {
         for m in Method::TOP_FIVE {
             assert!(Method::ALL.contains(&m));
         }
+    }
+
+    #[test]
+    fn cardfree_is_not_one_of_the_papers_nine() {
+        // `ALL` is the paper's set; the structural method rides alongside
+        // so figure-reproduction sweeps stay faithful.
+        assert!(!Method::ALL.contains(&Method::Cardfree));
+        assert_eq!(Method::parse("cardfree"), Some(Method::Cardfree));
+    }
+
+    #[test]
+    fn cardfree_produces_a_valid_state_within_budget() {
+        let q = query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let runner = MethodRunner::default();
+        let mut ev = Evaluator::with_budget(&q, &model, 100);
+        let mut rng = SmallRng::seed_from_u64(4);
+        runner.run(Method::Cardfree, &mut ev, &comp, &mut rng);
+        let (best, cost) = ev.best().expect("cardfree produced no state");
+        assert_eq!(best.len(), comp.len());
+        assert!(is_valid(q.graph(), best.rels()));
+        assert!(cost.is_finite());
+        // One N-unit generation plus one evaluation.
+        assert!(ev.used() <= comp.len() as u64 + 2, "used {}", ev.used());
+    }
+
+    #[test]
+    fn cardfree_is_rng_independent() {
+        let q = query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        let runner = MethodRunner::default();
+        let run = |seed: u64| {
+            let mut ev = Evaluator::with_budget(&q, &model, 100);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            runner.run(Method::Cardfree, &mut ev, &comp, &mut rng);
+            ev.best().map(|(o, c)| (o.clone(), c)).unwrap()
+        };
+        assert_eq!(run(1), run(999));
     }
 }

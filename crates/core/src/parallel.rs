@@ -45,8 +45,12 @@
 //! no stop threshold configured, `SharedBest` returns exactly the
 //! isolated result.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use ljqo_catalog::{Query, RelId};
-use ljqo_cost::{CostModel, Deadline, Evaluator, SharedBest};
+use ljqo_cost::{sanitize_cost, CostModel, Deadline, Evaluator, SharedBest};
+use ljqo_heuristics::CardFreeHeuristic;
+use ljqo_plan::validity::is_valid;
 use ljqo_plan::JoinOrder;
 
 use crate::methods::{Method, MethodRunner};
@@ -71,6 +75,19 @@ pub enum Cooperation {
 /// augmentation-first AGI (the paper's winner at small time limits), and
 /// KBZ-seeded II.
 pub const PORTFOLIO: [Method; 4] = [Method::Ii, Method::Sa, Method::Agi, Method::Kbi];
+
+/// The robustness portfolio: the uniform [`PORTFOLIO`] with the
+/// cardinality-free structural method registered on top. The listed
+/// methods are what rotates across workers — identical to the uniform
+/// portfolio, so the worker searches are bit-for-bit the same — and
+/// [`Method::Cardfree`] enters as a *challenger*: its single structural
+/// order is evaluated against the portfolio winner after the workers
+/// finish (see [`run_portfolio_robust`]). Keeping the rotation unchanged
+/// is what makes the `SharedBest`-style contract provable: the robust
+/// run can only replace the winner with something cheaper, never perturb
+/// the searches themselves, so at equal budget it is never worse than
+/// the uniform portfolio.
+pub const ROBUST_PORTFOLIO: [Method; 4] = PORTFOLIO;
 
 /// Options for [`run_portfolio`] (and, via the compatibility wrapper,
 /// [`run_parallel`]).
@@ -382,6 +399,102 @@ pub fn run_portfolio(
     })
 }
 
+/// Run the portfolio exactly as [`run_portfolio`] would, then let the
+/// cardinality-free structural order ([`CardFreeHeuristic`]) *challenge*
+/// the winner: the component's structural order is generated (it reads
+/// no statistics, so this cannot be defeated by a poisoned catalog),
+/// priced best-effort under panic isolation, and replaces the portfolio
+/// winner only when strictly cheaper.
+///
+/// # Never-worse contract
+///
+/// The worker searches are bit-for-bit identical to the plain portfolio
+/// at the same [`ParallelOptions`] — the challenger runs *after* they
+/// finish and never feeds back into them — so
+/// `run_portfolio_robust(...).cost ≤ run_portfolio(...).cost` holds by
+/// construction whenever both return a result. The challenger's spend is
+/// accounted on top: `component.len() + 1` budget units (one structural
+/// generation plus one evaluation), the same indivisible-step overrun
+/// slack every method already carries.
+///
+/// When the portfolio itself produces nothing (every worker panicked or
+/// the budget was zero), the challenger alone can still rescue the run:
+/// if its order prices to a finite cost, a challenger-only result is
+/// returned; otherwise `None`, exactly like [`run_portfolio`].
+pub fn run_portfolio_robust(
+    query: &Query,
+    model: &(dyn CostModel + Sync),
+    runner: &MethodRunner,
+    methods: &[Method],
+    component: &[RelId],
+    opts: &ParallelOptions,
+) -> Option<ParallelResult> {
+    let base = run_portfolio(query, model, runner, methods, component, opts);
+
+    // The structural challenger. Generation is pure graph traversal and
+    // cannot consult statistics, but it is still panic-isolated — the
+    // robust path must never be *less* reliable than the plain one.
+    let Some(order) = catch_unwind(AssertUnwindSafe(|| {
+        CardFreeHeuristic.generate(query.graph(), component)
+    }))
+    .ok()
+    .filter(|o| is_valid(query.graph(), o.rels())) else {
+        // Structural generation itself failed (should be unreachable on a
+        // validated query): fall back to the plain portfolio result.
+        return base;
+    };
+    let challenger_cost = catch_unwind(AssertUnwindSafe(|| {
+        sanitize_cost(model.order_cost(query, order.rels()))
+    }))
+    .unwrap_or(f64::MAX);
+    let challenger_units = component.len() as u64 + 1;
+
+    match base {
+        Some(mut r) => {
+            r.units_used += challenger_units;
+            r.n_evals += 1;
+            r.per_worker.push(WorkerReport {
+                method: Method::Cardfree,
+                best_cost: Some(challenger_cost),
+                units_used: challenger_units,
+                n_evals: 1,
+                panicked: false,
+            });
+            // Strict `<`: on a tie the portfolio winner stands, mirroring
+            // the lowest-worker-index tie-break inside `run_portfolio`.
+            if challenger_cost < r.cost {
+                r.order = order;
+                r.cost = challenger_cost;
+                r.method = Method::Cardfree;
+            }
+            Some(r)
+        }
+        // Challenger-only rescue. The base run reported nothing, so no
+        // per-worker accounting is available; the report carries the
+        // challenger alone (workers that panicked or were skipped for
+        // lack of budget are indistinguishable here).
+        None if challenger_cost < f64::MAX => Some(ParallelResult {
+            order,
+            cost: challenger_cost,
+            method: Method::Cardfree,
+            units_used: challenger_units,
+            n_evals: 1,
+            n_inc_evals: 0,
+            workers_failed: 0,
+            deadline_expired: false,
+            shared_cost: None,
+            per_worker: vec![WorkerReport {
+                method: Method::Cardfree,
+                best_cost: Some(challenger_cost),
+                units_used: challenger_units,
+                n_evals: 1,
+                panicked: false,
+            }],
+        }),
+        None => None,
+    }
+}
+
 /// Parallel-search configuration for the driver-level entry point
 /// [`crate::try_optimize_parallel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -394,6 +507,12 @@ pub struct Parallelism {
     /// method on every worker" (homogeneous fan-out). Use
     /// [`Parallelism::portfolio`] for the [`PORTFOLIO`] default.
     pub methods: Vec<Method>,
+    /// When set, every component's run goes through
+    /// [`run_portfolio_robust`]: the cardinality-free structural order
+    /// challenges the portfolio winner, so the result is never worse
+    /// than the same configuration without the backstop at equal budget.
+    /// Use [`Parallelism::robust_portfolio`] for the default.
+    pub structural_backstop: bool,
 }
 
 impl Parallelism {
@@ -403,6 +522,7 @@ impl Parallelism {
             workers,
             cooperation: Cooperation::Isolated,
             methods: Vec::new(),
+            structural_backstop: false,
         }
     }
 
@@ -412,6 +532,19 @@ impl Parallelism {
             workers,
             cooperation: Cooperation::Isolated,
             methods: PORTFOLIO.to_vec(),
+            structural_backstop: false,
+        }
+    }
+
+    /// The robustness portfolio over `workers` threads: the
+    /// [`ROBUST_PORTFOLIO`] rotation with the cardinality-free
+    /// structural challenger enabled (see [`run_portfolio_robust`]).
+    pub fn robust_portfolio(workers: usize) -> Self {
+        Parallelism {
+            workers,
+            cooperation: Cooperation::Isolated,
+            methods: ROBUST_PORTFOLIO.to_vec(),
+            structural_backstop: true,
         }
     }
 
@@ -653,5 +786,87 @@ mod tests {
             .filter_map(|w| w.best_cost)
             .fold(f64::INFINITY, f64::min);
         assert_eq!(r.cost, min);
+    }
+
+    #[test]
+    fn robust_portfolio_is_never_worse_than_plain() {
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        for (budget, workers, seed) in [(200u64, 2usize, 1u64), (2_000, 4, 7), (8_000, 6, 42)] {
+            let opts = ParallelOptions::new(budget, workers, seed);
+            let plain = run_portfolio(&q, &model, &runner, &PORTFOLIO, &comp, &opts).unwrap();
+            let robust =
+                run_portfolio_robust(&q, &model, &runner, &ROBUST_PORTFOLIO, &comp, &opts).unwrap();
+            assert!(
+                robust.cost <= plain.cost,
+                "robust {} worse than plain {} at budget {budget}",
+                robust.cost,
+                plain.cost
+            );
+            assert!(is_valid(q.graph(), robust.order.rels()));
+            // Challenger spend is accounted on top of the identical base.
+            assert_eq!(robust.units_used, plain.units_used + comp.len() as u64 + 1);
+            assert_eq!(robust.n_evals, plain.n_evals + 1);
+            // The challenger appears as one extra per-worker report.
+            assert_eq!(robust.per_worker.len(), plain.per_worker.len() + 1);
+            let last = robust.per_worker.last().unwrap();
+            assert_eq!(last.method, Method::Cardfree);
+            assert!(last.best_cost.is_some());
+        }
+    }
+
+    #[test]
+    fn robust_portfolio_rescues_an_empty_base_run() {
+        // Budget 0: no worker is ever spawned, so the plain portfolio
+        // returns None — but the challenger needs no budget share and
+        // rescues the run with the structural order.
+        let q = query();
+        let model = MemoryCostModel::default();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        let opts = ParallelOptions::new(0, 3, 11);
+        assert!(run_portfolio(&q, &model, &runner, &PORTFOLIO, &comp, &opts).is_none());
+        let r = run_portfolio_robust(&q, &model, &runner, &ROBUST_PORTFOLIO, &comp, &opts).unwrap();
+        assert_eq!(r.method, Method::Cardfree);
+        assert!(r.cost.is_finite());
+        assert!(is_valid(q.graph(), r.order.rels()));
+        assert_eq!(r.units_used, comp.len() as u64 + 1);
+    }
+
+    #[test]
+    fn robust_portfolio_stays_none_when_pricing_is_impossible() {
+        struct AlwaysPanic;
+        impl CostModel for AlwaysPanic {
+            fn join_cost(&self, _ctx: &ljqo_cost::JoinCtx) -> f64 {
+                panic!("poisoned model");
+            }
+            fn name(&self) -> &'static str {
+                "always-panic"
+            }
+        }
+        let q = query();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let runner = MethodRunner::default();
+        let opts = ParallelOptions::new(1_000, 3, 11);
+        // Plain portfolio: every worker dies, no result at all.
+        assert!(run_portfolio(&q, &AlwaysPanic, &runner, &PORTFOLIO, &comp, &opts).is_none());
+        // Robust: the challenger's pricing also panics, so its cost is
+        // f64::MAX — not finite enough to claim a rescue either. The
+        // degradation ladder in the driver handles this case instead.
+        assert!(
+            run_portfolio_robust(&q, &AlwaysPanic, &runner, &ROBUST_PORTFOLIO, &comp, &opts)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn robust_constructor_sets_the_backstop() {
+        let p = Parallelism::robust_portfolio(4);
+        assert!(p.structural_backstop);
+        assert_eq!(p.methods, ROBUST_PORTFOLIO.to_vec());
+        assert!(!Parallelism::portfolio(4).structural_backstop);
+        assert!(!Parallelism::workers(4).structural_backstop);
     }
 }

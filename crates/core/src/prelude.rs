@@ -8,9 +8,10 @@ pub use crate::bushy::{optimal_bushy_dp, BushyTree};
 pub use crate::dp::{optimal_order_dp, optimal_order_exhaustive};
 pub use crate::eval::{mean_scaled_cost, per_query_best, scaled_cost, OUTLIER_CAP};
 pub use crate::parallel::{
-    run_parallel, run_portfolio, shard_budget, Cooperation, ParallelOptions, ParallelResult,
-    Parallelism, WorkerReport, PORTFOLIO,
+    run_parallel, run_portfolio, run_portfolio_robust, shard_budget, Cooperation, ParallelOptions,
+    ParallelResult, Parallelism, WorkerReport, PORTFOLIO, ROBUST_PORTFOLIO,
 };
+pub use crate::robust::{recost_plan, regret_under, regret_under_parallel, RegretSample};
 pub use crate::trace::{trace_run, Trace, TracePoint};
 pub use crate::{
     optimize, optimize_batch, optimize_batch_cached, optimize_cached, optimize_cached_parallel,

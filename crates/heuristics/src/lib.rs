@@ -15,6 +15,15 @@
 //! * **Local improvement** ([`local`]) — exhaustive search inside sliding
 //!   clusters of size `c` with overlap `o`, repeated until fixpoint.
 //!
+//! A fourth, post-paper family backs the robustness work:
+//!
+//! * **Cardinality-free** ([`cardfree`]) — order by join-graph structure
+//!   only (after Simpli-Squared, arxiv 2111.00163). It reads no
+//!   statistics at all, so it is immune to estimation error; the
+//!   optimizer uses it as a portfolio challenger and as a degradation
+//!   rung when statistics are missing or corrupt. Like augmentation, one
+//!   generated order is charged `N` budget units.
+//!
 //! Augmentation and KBZ are *constructive*: they generate orders from the
 //! catalog statistics alone and are pure functions of the query. The
 //! optimizer layer (crate `ljqo`) charges the deterministic work budget
@@ -30,9 +39,11 @@
 #![warn(clippy::all)]
 
 pub mod augmentation;
+pub mod cardfree;
 pub mod kbz;
 pub mod local;
 
 pub use augmentation::{AugmentationCriterion, AugmentationHeuristic};
+pub use cardfree::CardFreeHeuristic;
 pub use kbz::{KbzHeuristic, MstWeight};
 pub use local::LocalImprovement;

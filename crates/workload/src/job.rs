@@ -1,0 +1,287 @@
+//! JOB-shaped query synthesis: star, snowflake, and cyclic join graphs
+//! with fact-table skew.
+//!
+//! The paper's generator (see [`crate::generate_query`]) draws every
+//! relation from the same cardinality distribution. Real analytical
+//! workloads — the Join Order Benchmark being the canonical example —
+//! look different: one or a few *fact* tables orders of magnitude larger
+//! than the *dimension* tables around them, joined in star, snowflake
+//! (star whose arms are chains), or mildly cyclic shapes. These
+//! generators reproduce that asymmetry so the robustness study can probe
+//! the optimizer on catalogs where a single wrong estimate on the fact
+//! table dominates every plan.
+//!
+//! Generation is a deterministic function of `(spec, n_joins, seed)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ljqo_catalog::{JoinEdge, Query, Relation};
+
+use crate::spec::{CardinalityDist, DistinctDist, SELECTIVITY_LIST};
+
+/// Shape of a JOB-style join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobShape {
+    /// One fact table joined directly to every dimension.
+    Star,
+    /// A star whose arms are chains: fact → dimension → sub-dimension …
+    /// with roughly `√N` arms.
+    Snowflake,
+    /// A snowflake plus extra closing edges between arms, producing
+    /// cycles in the join graph.
+    Cyclic,
+}
+
+impl JobShape {
+    /// All shapes, in report order.
+    pub const ALL: [JobShape; 3] = [JobShape::Star, JobShape::Snowflake, JobShape::Cyclic];
+
+    /// Short name for reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobShape::Star => "star",
+            JobShape::Snowflake => "snowflake",
+            JobShape::Cyclic => "cyclic",
+        }
+    }
+
+    /// Parse a shape name (case-insensitive).
+    pub fn parse(s: &str) -> Option<JobShape> {
+        JobShape::ALL
+            .into_iter()
+            .find(|shape| shape.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Specification of a JOB-shaped benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Join-graph shape.
+    pub shape: JobShape,
+    /// Dimension-table cardinality distribution.
+    pub dimensions: CardinalityDist,
+    /// Fact cardinality = dimension draw × this factor (the skew: the
+    /// fact table dwarfs every dimension).
+    pub fact_scale: f64,
+    /// Distinct-value fraction distribution for dimension join columns.
+    pub distinct_values: DistinctDist,
+    /// Maximum selections per dimension relation (uniform over
+    /// `0..=max_selections`); the fact table carries none, as is typical
+    /// for JOB-style queries that filter on dimensions.
+    pub max_selections: usize,
+    /// For [`JobShape::Cyclic`]: extra closing edges as a fraction of
+    /// `n_joins` (at least one is always added when `n_joins >= 2`).
+    pub cycle_fraction: f64,
+}
+
+impl JobSpec {
+    /// Default spec for a shape: paper dimension distributions, fact
+    /// tables 1000× a dimension draw, a quarter of the joins closed into
+    /// cycles for the cyclic shape.
+    pub fn new(shape: JobShape) -> Self {
+        JobSpec {
+            shape,
+            dimensions: CardinalityDist::default_paper(),
+            fact_scale: 1_000.0,
+            distinct_values: DistinctDist::default_paper(),
+            max_selections: 2,
+            cycle_fraction: 0.25,
+        }
+    }
+}
+
+/// Generate a JOB-shaped query with `n_joins` spanning joins
+/// (`n_joins + 1` relations; the cyclic shape adds extra closing edges on
+/// top), deterministically in `seed`. Relation 0 is the fact table.
+pub fn generate_job_query(spec: &JobSpec, n_joins: usize, seed: u64) -> Query {
+    let n_rel = n_joins + 1;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Relations: index 0 is the fact table, scaled up from a dimension
+    // draw; the rest are dimensions with optional selections.
+    let mut relations = Vec::with_capacity(n_rel);
+    let fact_card = ((spec.dimensions.sample(&mut rng) as f64) * spec.fact_scale.max(1.0))
+        .round()
+        .max(1.0) as u64;
+    relations.push(Relation::new("F0", fact_card));
+    for i in 1..n_rel {
+        let mut rel = Relation::new(format!("D{i}"), spec.dimensions.sample(&mut rng));
+        let n_sel = rng.gen_range(0..=spec.max_selections);
+        for _ in 0..n_sel {
+            let s = SELECTIVITY_LIST[rng.gen_range(0..SELECTIVITY_LIST.len())];
+            rel = rel.with_selection(s);
+        }
+        relations.push(rel);
+    }
+
+    // Spanning structure by shape. `parent[i]` is the relation that
+    // dimension i joins to.
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n_rel);
+    match spec.shape {
+        JobShape::Star => {
+            for i in 1..n_rel {
+                pairs.push((0, i));
+            }
+        }
+        JobShape::Snowflake | JobShape::Cyclic => {
+            // ~√N arms; each new dimension extends the shortest arm, so
+            // arms stay balanced and depth grows past 1 (the snowflake).
+            let n_arms = ((n_joins as f64).sqrt().ceil() as usize).clamp(1, n_joins.max(1));
+            let mut arm_tail: Vec<usize> = Vec::with_capacity(n_arms);
+            let mut arm_len: Vec<usize> = Vec::with_capacity(n_arms);
+            for i in 1..n_rel {
+                if arm_tail.len() < n_arms {
+                    // Start a new arm at the fact table.
+                    pairs.push((0, i));
+                    arm_tail.push(i);
+                    arm_len.push(1);
+                } else {
+                    let a = (0..arm_tail.len())
+                        .min_by_key(|&a| (arm_len[a], a))
+                        .unwrap();
+                    pairs.push((arm_tail[a], i));
+                    arm_tail[a] = i;
+                    arm_len[a] += 1;
+                }
+            }
+            if spec.shape == JobShape::Cyclic && n_rel >= 3 {
+                // Close cycles with extra edges between distinct
+                // relations, skipping pairs already joined.
+                let extra = ((spec.cycle_fraction * n_joins as f64).round() as usize).max(1);
+                let mut joined = vec![false; n_rel * n_rel];
+                for &(a, b) in &pairs {
+                    joined[a * n_rel + b] = true;
+                    joined[b * n_rel + a] = true;
+                }
+                let mut added = 0;
+                let mut attempts = 0;
+                while added < extra && attempts < 16 * extra {
+                    attempts += 1;
+                    let a = rng.gen_range(0..n_rel);
+                    let b = rng.gen_range(0..n_rel);
+                    if a != b && !joined[a * n_rel + b] {
+                        joined[a * n_rel + b] = true;
+                        joined[b * n_rel + a] = true;
+                        pairs.push((a.min(b), a.max(b)));
+                        added += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Statistics: the edge's dimension-side key is drawn from the
+    // distinct distribution; the fact (or parent) side reuses the child
+    // key domain — at most the child's distinct count, shrunk by a skew
+    // draw (a few hot keys dominate), and never above the parent's own
+    // cardinality. Selectivity then follows J = 1/max(D_a, D_b).
+    let edges: Vec<JoinEdge> = pairs
+        .into_iter()
+        .map(|(a, b)| {
+            let child_card = relations[b].cardinality();
+            let d_child = (spec.distinct_values.sample(&mut rng) * child_card).max(1.0);
+            let skew = spec.distinct_values.sample(&mut rng);
+            let d_parent = (d_child * skew).max(1.0).min(relations[a].cardinality());
+            JoinEdge::from_distincts(a, b, d_parent, d_child)
+        })
+        .collect();
+
+    Query::new(relations, edges).expect("generated JOB query must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ljqo_catalog::RelId;
+    use ljqo_plan::validity::is_valid;
+
+    #[test]
+    fn star_joins_every_dimension_to_the_fact() {
+        let q = generate_job_query(&JobSpec::new(JobShape::Star), 12, 1);
+        assert_eq!(q.n_relations(), 13);
+        assert_eq!(q.graph().degree(RelId(0)), 12);
+        assert!(q.graph().is_connected());
+    }
+
+    #[test]
+    fn fact_table_dwarfs_dimensions() {
+        for shape in JobShape::ALL {
+            let q = generate_job_query(&JobSpec::new(shape), 15, 3);
+            let fact = q.relation(RelId(0)).base_cardinality;
+            let max_dim = q
+                .relations()
+                .iter()
+                .skip(1)
+                .map(|r| r.base_cardinality)
+                .max()
+                .unwrap();
+            // The fact table is a dimension draw × fact_scale (1000), so
+            // it always clears the dimension range's top end.
+            assert!(
+                fact > max_dim && fact >= 10_000,
+                "{shape:?}: fact {fact} vs max dim {max_dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn snowflake_has_chained_arms() {
+        let q = generate_job_query(&JobSpec::new(JobShape::Snowflake), 16, 5);
+        // ~√16 = 4 arms from the hub; the other dimensions chain.
+        assert_eq!(q.graph().degree(RelId(0)), 4);
+        assert_eq!(q.graph().edges().len(), 16);
+        let deep = q
+            .rel_ids()
+            .filter(|&r| r != RelId(0) && q.graph().degree(r) == 2)
+            .count();
+        assert!(deep >= 8, "only {deep} chained dimensions");
+    }
+
+    #[test]
+    fn cyclic_adds_closing_edges() {
+        let q = generate_job_query(&JobSpec::new(JobShape::Cyclic), 16, 5);
+        assert!(
+            q.graph().edges().len() > 16,
+            "cyclic shape must exceed the spanning joins, got {}",
+            q.graph().edges().len()
+        );
+        assert!(q.graph().is_connected());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        for shape in JobShape::ALL {
+            let spec = JobSpec::new(shape);
+            assert_eq!(
+                generate_job_query(&spec, 10, 7),
+                generate_job_query(&spec, 10, 7)
+            );
+            assert_ne!(
+                generate_job_query(&spec, 10, 7),
+                generate_job_query(&spec, 10, 8),
+                "{shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_valid_by_construction() {
+        for shape in JobShape::ALL {
+            for seed in 0..5 {
+                let q = generate_job_query(&JobSpec::new(shape), 20, seed);
+                let order: Vec<RelId> = q.rel_ids().collect();
+                assert!(is_valid(q.graph(), &order), "{shape:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_names_roundtrip() {
+        for shape in JobShape::ALL {
+            assert_eq!(JobShape::parse(shape.name()), Some(shape));
+            assert_eq!(JobShape::parse(&shape.name().to_uppercase()), Some(shape));
+        }
+        assert_eq!(JobShape::parse("nope"), None);
+    }
+}

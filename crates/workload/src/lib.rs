@@ -18,12 +18,25 @@
 //! | 9 | join graph | chain-biased spanning tree |
 //!
 //! Generation is a deterministic function of `(spec, N, seed)`.
+//!
+//! Two post-paper extensions back the robustness study:
+//!
+//! * [`job`] — JOB-shaped benchmarks (star, snowflake, cyclic join
+//!   graphs with fact-table skew), closer to real analytical workloads
+//!   than the paper's homogeneous relations.
+//! * [`perturb`] — a seeded q-error injector that turns a *true* catalog
+//!   into an *observed* one with every statistic within a chosen q-error
+//!   bound, in independent or per-relation-correlated modes.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 mod generator;
+pub mod job;
+pub mod perturb;
 mod spec;
 
 pub use generator::generate_query;
+pub use job::{generate_job_query, JobShape, JobSpec};
+pub use perturb::{PerturbMode, Perturbation};
 pub use spec::{Benchmark, CardinalityDist, DistinctDist, GraphShape, QuerySpec, SELECTIVITY_LIST};

@@ -1,0 +1,280 @@
+//! Controlled q-error injection: turn a *true* catalog into an *observed*
+//! one.
+//!
+//! The q-error of an estimate `ê` for a true value `e` is
+//! `max(ê/e, e/ê)`. A [`Perturbation`] multiplies each statistic by a
+//! log-uniform factor drawn from `[1/q, q]`, so every observed statistic
+//! is within q-error `q` of the truth — the standard model for "estimates
+//! off by up to an order of magnitude" (q = 10) or two (q = 100).
+//!
+//! Two error modes:
+//!
+//! * [`PerturbMode::Independent`] — every scalar statistic (base
+//!   cardinality, each selection selectivity, each join selectivity, each
+//!   distinct count) draws its own factor. Models uncorrelated noise.
+//! * [`PerturbMode::Correlated`] — one factor per *relation* drives its
+//!   cardinality and all statistics touching it (distinct counts on its
+//!   side of each edge; edge selectivities divide by the geometric mean
+//!   of the endpoint factors). Models the realistic failure where one
+//!   misjudged table skews everything it joins with.
+//!
+//! The transform preserves structure exactly: relation names and ids,
+//! edge endpoints, and selection counts are untouched — only the numbers
+//! move. Results are clamped into the catalog's validity envelope
+//! (selectivities in `(0, 1]`, distincts in `[1, base_cardinality]`,
+//! cardinalities ≥ 1) so the observed catalog always passes
+//! `Query::validate`. The transform is a deterministic function of
+//! `(query, q, mode, seed)`, and `q = 1` is the exact identity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ljqo_catalog::{JoinEdge, Query, Relation};
+
+/// How perturbation factors are shared across statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PerturbMode {
+    /// Every statistic draws its own factor.
+    Independent,
+    /// One factor per relation drives all statistics touching it.
+    Correlated,
+}
+
+impl PerturbMode {
+    /// Both modes, in report order.
+    pub const ALL: [PerturbMode; 2] = [PerturbMode::Independent, PerturbMode::Correlated];
+
+    /// Short name for reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            PerturbMode::Independent => "independent",
+            PerturbMode::Correlated => "correlated",
+        }
+    }
+
+    /// Parse a mode name (case-insensitive).
+    pub fn parse(s: &str) -> Option<PerturbMode> {
+        PerturbMode::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// A seeded q-error injector; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Maximum q-error of any observed statistic (≥ 1).
+    pub q: f64,
+    /// Factor-sharing mode.
+    pub mode: PerturbMode,
+    /// RNG seed; same `(query, q, mode, seed)` → same observed catalog.
+    pub seed: u64,
+}
+
+impl Perturbation {
+    /// Create a perturbation. Non-finite or sub-1 `q` is clamped to 1
+    /// (the identity) rather than rejected — a robustness transform
+    /// should not itself be a source of panics.
+    pub fn new(q: f64, mode: PerturbMode, seed: u64) -> Self {
+        let q = if q.is_finite() { q.max(1.0) } else { 1.0 };
+        Perturbation { q, mode, seed }
+    }
+
+    /// A log-uniform factor in `[1/q, q]`.
+    fn factor(&self, rng: &mut SmallRng) -> f64 {
+        // gen::<f64>() in [0,1) → exponent in [-ln q, ln q).
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        (u * self.q.ln()).exp()
+    }
+
+    /// The observed catalog: `truth` with q-error injected into every
+    /// statistic. Structure (ids, names, edge endpoints, selection
+    /// counts) is preserved bit-for-bit; `q = 1` returns an exact clone.
+    pub fn observed(&self, truth: &Query) -> Query {
+        if self.q <= 1.0 {
+            return truth.clone();
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // Correlated mode: one factor per relation, drawn up front in id
+        // order so edge processing below never perturbs the draw order.
+        let rel_factors: Vec<f64> = match self.mode {
+            PerturbMode::Correlated => (0..truth.n_relations())
+                .map(|_| self.factor(&mut rng))
+                .collect(),
+            PerturbMode::Independent => Vec::new(),
+        };
+
+        let clamp_sel = |s: f64| s.clamp(f64::MIN_POSITIVE, 1.0);
+
+        let relations: Vec<Relation> = truth
+            .relations()
+            .iter()
+            .enumerate()
+            .map(|(i, rel)| {
+                let card_factor = match self.mode {
+                    PerturbMode::Correlated => rel_factors[i],
+                    PerturbMode::Independent => self.factor(&mut rng),
+                };
+                let observed_card = ((rel.base_cardinality as f64) * card_factor)
+                    .round()
+                    .max(1.0) as u64;
+                let mut out = Relation::new(rel.name.clone(), observed_card);
+                for sel in &rel.selections {
+                    let f = match self.mode {
+                        PerturbMode::Correlated => rel_factors[i],
+                        PerturbMode::Independent => self.factor(&mut rng),
+                    };
+                    out = out.with_selection(clamp_sel(sel.selectivity * f));
+                }
+                out
+            })
+            .collect();
+
+        let edges: Vec<JoinEdge> = truth
+            .graph()
+            .edges()
+            .iter()
+            .map(|e| {
+                let (fa, fb, fsel) = match self.mode {
+                    PerturbMode::Correlated => {
+                        let (fa, fb) = (rel_factors[e.a.index()], rel_factors[e.b.index()]);
+                        // Under uniformity J = 1/max(D), inflating the
+                        // distincts deflates the selectivity: divide by
+                        // the geometric mean of the endpoint factors.
+                        (fa, fb, 1.0 / (fa * fb).sqrt())
+                    }
+                    PerturbMode::Independent => (
+                        self.factor(&mut rng),
+                        self.factor(&mut rng),
+                        self.factor(&mut rng),
+                    ),
+                };
+                // Distincts stay inside the validity envelope of the
+                // *observed* base cardinality.
+                let clamp_d =
+                    |d: f64, rel: usize| d.clamp(1.0, relations[rel].base_cardinality as f64);
+                JoinEdge::new(
+                    e.a,
+                    e.b,
+                    clamp_sel(e.selectivity * fsel),
+                    clamp_d(e.distinct_a * fa, e.a.index()),
+                    clamp_d(e.distinct_b * fb, e.b.index()),
+                )
+            })
+            .collect();
+
+        Query::new(relations, edges).expect("perturbed catalog must validate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_query;
+    use crate::spec::QuerySpec;
+
+    fn sample() -> Query {
+        generate_query(&QuerySpec::default(), 20, 42)
+    }
+
+    #[test]
+    fn q1_is_the_exact_identity() {
+        let truth = sample();
+        for mode in PerturbMode::ALL {
+            let obs = Perturbation::new(1.0, mode, 9).observed(&truth);
+            assert_eq!(obs, truth, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let truth = sample();
+        for mode in PerturbMode::ALL {
+            let p = Perturbation::new(10.0, mode, 5);
+            assert_eq!(p.observed(&truth), p.observed(&truth));
+            let other = Perturbation::new(10.0, mode, 6).observed(&truth);
+            assert_ne!(p.observed(&truth), other, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        let truth = sample();
+        for mode in PerturbMode::ALL {
+            let obs = Perturbation::new(100.0, mode, 7).observed(&truth);
+            assert_eq!(obs.n_relations(), truth.n_relations());
+            assert_eq!(obs.n_joins(), truth.n_joins());
+            for (o, t) in obs.relations().iter().zip(truth.relations()) {
+                assert_eq!(o.name, t.name);
+                assert_eq!(o.selections.len(), t.selections.len());
+            }
+            for (oe, te) in obs.graph().edges().iter().zip(truth.graph().edges()) {
+                assert_eq!((oe.a, oe.b), (te.a, te.b));
+            }
+        }
+    }
+
+    #[test]
+    fn observed_catalogs_always_validate() {
+        for seed in 0..10 {
+            let truth = generate_query(&QuerySpec::default(), 15, seed);
+            for mode in PerturbMode::ALL {
+                for q in [2.0, 10.0, 100.0] {
+                    let obs = Perturbation::new(q, mode, seed ^ 0xABCD).observed(&truth);
+                    obs.validate().expect("observed catalog validates");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factors_respect_the_q_bound() {
+        let truth = sample();
+        let q = 10.0;
+        for mode in PerturbMode::ALL {
+            let obs = Perturbation::new(q, mode, 3).observed(&truth);
+            for (o, t) in obs.relations().iter().zip(truth.relations()) {
+                let (oc, tc) = (o.base_cardinality as f64, t.base_cardinality as f64);
+                let qerr = (oc / tc).max(tc / oc);
+                // Rounding to integer cardinalities adds at most ~½ a
+                // tuple of slack on tiny relations.
+                assert!(qerr <= q * 1.1, "{mode:?}: cardinality q-error {qerr}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonsense_q_clamps_to_identity() {
+        let truth = sample();
+        for q in [0.5, 0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let p = Perturbation::new(q, PerturbMode::Independent, 1);
+            assert_eq!(p.observed(&truth), truth, "q={q}");
+        }
+    }
+
+    #[test]
+    fn correlated_mode_moves_a_relations_stats_together() {
+        // With one factor per relation, the ratio observed/true must be
+        // identical for a relation's cardinality and each distinct count
+        // clamped on its side (when no clamp bound was hit).
+        let truth = sample();
+        let obs = Perturbation::new(2.0, PerturbMode::Correlated, 11).observed(&truth);
+        for (oe, te) in obs.graph().edges().iter().zip(truth.graph().edges()) {
+            let rel = te.a.index();
+            let card_ratio = obs.relations()[rel].base_cardinality as f64
+                / truth.relations()[rel].base_cardinality as f64;
+            let d_ratio = oe.distinct_a / te.distinct_a;
+            let hit_clamp = oe.distinct_a <= 1.0 + 1e-12
+                || oe.distinct_a >= obs.relations()[rel].base_cardinality as f64 - 1e-9;
+            // Integer rounding of the cardinality blurs the ratio on
+            // small relations; only large ones give a sharp comparison.
+            if !hit_clamp && truth.relations()[rel].base_cardinality >= 500 {
+                assert!(
+                    (d_ratio / card_ratio - 1.0).abs() < 0.05,
+                    "distinct ratio {d_ratio} vs cardinality ratio {card_ratio}"
+                );
+            }
+        }
+    }
+}
