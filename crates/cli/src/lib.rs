@@ -25,7 +25,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use ljqo_catalog::{CatalogError, Query, QueryBuilder};
+use ljqo_catalog::{CatalogError, JoinEdge, Query, QueryBuilder};
 use ljqo_json::Value;
 
 /// A relation in the input file.
@@ -181,6 +181,38 @@ impl QueryFile {
         Ok(QueryFile { relations, joins })
     }
 
+    /// Serialize a live [`Query`] into the file format, preserving every
+    /// statistic exactly: relations keep their base cardinality and
+    /// selection selectivities, and joins carry *both* the selectivity
+    /// and the distinct counts so [`into_query`](QueryFile::into_query)
+    /// reconstructs bit-identical catalog statistics. This is what lets
+    /// the serving protocol ship generated workloads over the wire
+    /// without perturbing costs.
+    pub fn from_query(query: &Query) -> Self {
+        let relations = query
+            .relations()
+            .iter()
+            .map(|r| RelationSpec {
+                name: r.name.clone(),
+                cardinality: r.base_cardinality,
+                selections: r.selections.iter().map(|s| s.selectivity).collect(),
+            })
+            .collect();
+        let joins = query
+            .graph()
+            .edges()
+            .iter()
+            .map(|e| JoinSpec {
+                left: query.relation(e.a).name.clone(),
+                right: query.relation(e.b).name.clone(),
+                selectivity: Some(e.selectivity),
+                distinct_left: Some(e.distinct_a),
+                distinct_right: Some(e.distinct_b),
+            })
+            .collect();
+        QueryFile { relations, joins }
+    }
+
     /// Render back to JSON (used by tests and tooling round-trips).
     pub fn to_json(&self) -> Value {
         let relations: Vec<Value> = self
@@ -243,10 +275,22 @@ impl QueryFile {
                 Err(FileError::UnknownRelation(name.clone()))
             }
         };
+        let id_of = |name: &String| names.iter().position(|n| n == name).unwrap();
         for join in &self.joins {
             check(&join.left)?;
             check(&join.right)?;
             builder = match (join.selectivity, join.distinct_left, join.distinct_right) {
+                // Fully specified: construct the edge exactly as given,
+                // so a file produced by `from_query` round-trips
+                // bit-for-bit (the convenience constructors below derive
+                // one statistic from the other).
+                (Some(s), Some(dl), Some(dr)) => builder.join_ids(JoinEdge::new(
+                    id_of(&join.left),
+                    id_of(&join.right),
+                    s,
+                    dl,
+                    dr,
+                )),
                 (Some(s), _, _) => builder.join(&join.left, &join.right, s),
                 (None, Some(dl), Some(dr)) => {
                     builder.join_on_distincts(&join.left, &join.right, dl, dr)
@@ -310,6 +354,19 @@ mod tests {
             file.into_query(),
             Err(FileError::UnderspecifiedJoin(..))
         ));
+    }
+
+    #[test]
+    fn from_query_roundtrips_statistics_exactly() {
+        use ljqo_workload::{generate_job_query, JobShape, JobSpec};
+        for shape in JobShape::ALL {
+            for seed in 0..4 {
+                let q = generate_job_query(&JobSpec::new(shape), 10, seed);
+                let text = QueryFile::from_query(&q).to_json().to_string_compact();
+                let back = QueryFile::from_json(&text).unwrap().into_query().unwrap();
+                assert_eq!(back, q, "{shape:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,9 @@ use ljqo_cost::{costs_agree, sanitize_cost, CostModel, Deadline};
 use ljqo_plan::validity::is_valid;
 use ljqo_plan::JoinOrder;
 
-use crate::driver::{assemble_plan, BatchOptions, BatchReport, Optimized, OptimizerConfig};
+use crate::driver::{
+    assemble_plan, BatchOptions, BatchReport, Optimized, OptimizerConfig, ServedVia,
+};
 use crate::error::{Degradation, OptError};
 use crate::parallel::{splitmix, Parallelism};
 use crate::{try_optimize, try_optimize_parallel};
@@ -369,6 +371,7 @@ pub fn optimize_batch_cached(
                     result: Err(e),
                     outcome: CacheOutcome::Miss,
                     reused: false,
+                    producer: config.method.name(),
                 },
             ));
         }
@@ -377,6 +380,7 @@ pub fn optimize_batch_cached(
 
     let mut report = BatchReport {
         results: Vec::with_capacity(queries.len()),
+        outcomes: Vec::with_capacity(queries.len()),
         n_failed: 0,
         n_degraded: 0,
         n_deadline_expired: 0,
@@ -406,6 +410,10 @@ pub fn optimize_batch_cached(
             }
             Err(_) => report.n_failed += 1,
         }
+        report.outcomes.push(ServedVia {
+            outcome: served.outcome,
+            producer: served.producer,
+        });
         report.results.push(served.result);
     }
     report.wall = started.elapsed();
@@ -420,6 +428,9 @@ struct Served {
     /// Whether a hit reused an entry produced by this batch's own cold
     /// solve (a dedup reuse) rather than a pre-existing one.
     reused: bool,
+    /// Method credited with the served plan (the entry's producer on a
+    /// hit, the configured method on a cold solve).
+    producer: &'static str,
 }
 
 /// Serve one fingerprint group: at most one cold solve, members reuse
@@ -451,6 +462,7 @@ fn serve_group(
                         result: Ok(result),
                         outcome,
                         reused: from_batch,
+                        producer: e.producer,
                     },
                 ));
                 continue;
@@ -483,6 +495,7 @@ fn serve_group(
                 result,
                 outcome: CacheOutcome::Miss,
                 reused: false,
+                producer: cfg.method.name(),
             },
         ));
     }

@@ -565,12 +565,31 @@ pub struct BatchOptions {
     pub per_query_deadline: Option<Duration>,
 }
 
+/// How one batch result was produced: the serving path that answered it
+/// and the method credited with the plan. A long-running service feeds
+/// these (via [`ServingCounters`](crate::ServingCounters)) into its
+/// process-lifetime per-method win counts and per-rung degradation
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedVia {
+    /// How the cache answered (always [`CacheOutcome::Miss`](crate::cached::CacheOutcome::Miss) for the
+    /// plain, uncached [`optimize_batch`] driver).
+    pub outcome: crate::cached::CacheOutcome,
+    /// Short name of the method credited with the served plan: the cache
+    /// entry's recorded producer on a hit, the configured method on a
+    /// cold solve. For failed queries this is the configured method (no
+    /// plan was produced; the name only says who was asked).
+    pub producer: &'static str,
+}
+
 /// Outcome of [`optimize_batch`]: per-query results in input order, plus
 /// aggregate degradation accounting for capacity planning.
 #[derive(Debug)]
 pub struct BatchReport {
     /// One result per input query, in input order.
     pub results: Vec<Result<Optimized, OptError>>,
+    /// How each result was served, aligned with `results`.
+    pub outcomes: Vec<ServedVia>,
     /// Queries that produced no plan at all ([`OptError`]).
     pub n_failed: usize,
     /// Queries whose plan came from a fallback rung
@@ -655,6 +674,7 @@ pub fn optimize_batch(
 
     let mut report = BatchReport {
         results: Vec::with_capacity(queries.len()),
+        outcomes: Vec::with_capacity(queries.len()),
         n_failed: 0,
         n_degraded: 0,
         n_deadline_expired: 0,
@@ -677,6 +697,10 @@ pub fn optimize_batch(
             }
             Err(_) => report.n_failed += 1,
         }
+        report.outcomes.push(ServedVia {
+            outcome: crate::cached::CacheOutcome::Miss,
+            producer: config.method.name(),
+        });
         report.results.push(result);
     }
     report.wall = started.elapsed();

@@ -72,12 +72,13 @@ pub mod prelude;
 pub mod robust;
 mod sa;
 mod sampling;
+pub mod serving;
 pub mod trace;
 
 pub use cached::{optimize_batch_cached, optimize_cached, optimize_cached_parallel, CacheOutcome};
 pub use driver::{
     optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,
-    Optimized, OptimizerConfig,
+    Optimized, OptimizerConfig, ServedVia,
 };
 pub use error::{Degradation, OptError};
 pub use ii::IterativeImprovement;
@@ -86,6 +87,7 @@ pub use parallel::{Cooperation, Parallelism};
 pub use robust::{recost_plan, regret_under, regret_under_parallel, RegretSample};
 pub use sa::SimulatedAnnealing;
 pub use sampling::RandomSampling;
+pub use serving::{ServingCounters, ServingSnapshot};
 
 // Re-export the component crates so downstream users need only `ljqo`.
 pub use ljqo_cache as cache;

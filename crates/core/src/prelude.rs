@@ -16,7 +16,7 @@ pub use crate::trace::{trace_run, Trace, TracePoint};
 pub use crate::{
     optimize, optimize_batch, optimize_batch_cached, optimize_cached, optimize_cached_parallel,
     try_optimize, try_optimize_parallel, BatchOptions, BatchReport, CacheOutcome, Degradation,
-    OptError, Optimized, OptimizerConfig,
+    OptError, Optimized, OptimizerConfig, ServedVia, ServingCounters, ServingSnapshot,
 };
 pub use crate::{IterativeImprovement, Method, MethodRunner, RandomSampling, SimulatedAnnealing};
 

@@ -1,0 +1,394 @@
+//! # ljqo-loadgen — load generator for `ljqo-server`
+//!
+//! Drives a running daemon with JOB-shaped workloads (reusing
+//! `ljqo-workload`'s generators) and reports client-observed latency
+//! percentiles and throughput. Two pacing modes:
+//!
+//! * **closed loop** (default): each connection keeps exactly one
+//!   request in flight — send, wait, repeat — so offered load adapts to
+//!   server speed and the report measures best-case latency at full
+//!   utilization of `connections` streams.
+//! * **paced** (`qps`): each connection sends on a fixed schedule
+//!   targeting `qps / connections` requests per second. If the server
+//!   falls behind the schedule the loop degrades toward closed-loop
+//!   (each connection still waits for its reply before sending again),
+//!   so reported throughput below the target means the server saturated.
+//!
+//! A warmup window is measured out: requests answered before it elapses
+//! populate the server's plan cache but are excluded from the report.
+//! Latencies are collected exactly (one `u64` per request) and
+//! percentiles computed from the sorted sample — no histogram
+//! quantization on the client side.
+//!
+//! The query mix is controlled by `classes`: `K > 0` draws each request
+//! round-robin from `K` distinct pre-generated queries (a warm,
+//! cacheable workload — expect `serving.cache_hits` to climb), while
+//! `K = 0` makes every request structurally unique (a cold workload
+//! that defeats the cache; every request pays a cold solve).
+//!
+//! ```no_run
+//! use ljqo_loadgen::{run_load, LoadSpec};
+//! use std::time::Duration;
+//!
+//! let spec = LoadSpec {
+//!     addr: "127.0.0.1:7411".to_string(),
+//!     duration: Duration::from_secs(5),
+//!     ..LoadSpec::default()
+//! };
+//! let report = run_load(&spec).unwrap();
+//! println!("{}", report.to_json().to_string_pretty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::BTreeMap;
+use std::io;
+use std::time::{Duration, Instant};
+
+use ljqo_cli::QueryFile;
+use ljqo_json::Value;
+use ljqo_server::Client;
+use ljqo_workload::{generate_job_query, JobShape, JobSpec};
+
+/// What load to offer, to whom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSpec {
+    /// Server address, e.g. `127.0.0.1:7411`.
+    pub addr: String,
+    /// Concurrent connections, each with one request in flight.
+    pub connections: usize,
+    /// Measurement window (after warmup).
+    pub duration: Duration,
+    /// Cache-warming window excluded from the report.
+    pub warmup: Duration,
+    /// Total target request rate across all connections; `None` runs
+    /// closed-loop as fast as the server answers.
+    pub qps: Option<f64>,
+    /// Workload shape for generated queries.
+    pub shape: JobShape,
+    /// Joins per generated query.
+    pub n_joins: usize,
+    /// Distinct query classes to rotate through; `0` makes every
+    /// request unique (fully cold).
+    pub classes: usize,
+    /// Base seed for query generation.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            addr: "127.0.0.1:7411".to_string(),
+            connections: 1,
+            duration: Duration::from_secs(10),
+            warmup: Duration::from_secs(2),
+            qps: None,
+            shape: JobShape::Star,
+            n_joins: 12,
+            classes: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Client-observed latency summary, in microseconds. Percentiles are
+/// exact (nearest-rank over the sorted sample).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |q: f64| samples[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1];
+        LatencyStats {
+            mean_us: samples.iter().sum::<u64>() as f64 / n as f64,
+            p50_us: rank(0.50),
+            p90_us: rank(0.90),
+            p95_us: rank(0.95),
+            p99_us: rank(0.99),
+            max_us: samples[n - 1],
+        }
+    }
+}
+
+/// What a load run measured (post-warmup unless noted).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadReport {
+    /// Requests answered `"ok": true` inside the measurement window.
+    pub completed: u64,
+    /// Requests answered `"ok": false` with an optimizer error.
+    pub failed: u64,
+    /// Requests answered `"ok": false` with an admission code
+    /// (`overload` / `draining`).
+    pub rejected: u64,
+    /// Connection-level I/O errors (a connection that dies stops
+    /// offering load; its requests so far still count).
+    pub io_errors: u64,
+    /// Requests answered during warmup (excluded from everything else).
+    pub warmup_requests: u64,
+    /// The measurement window actually used.
+    pub duration: Duration,
+    /// Completed requests per second of measurement window.
+    pub throughput: f64,
+    /// Latency summary over completed + failed requests.
+    pub latency: LatencyStats,
+    /// Count of each `"outcome"` value observed in completed responses
+    /// (`hit`, `hit_recosted`, `miss`, `stale`) — the client-side view
+    /// of the server's cache effectiveness.
+    pub outcomes: BTreeMap<String, u64>,
+}
+
+impl LoadReport {
+    /// The report as JSON (the shape `BENCH_serving.json` embeds).
+    pub fn to_json(&self) -> Value {
+        let outcomes = Value::Object(
+            self.outcomes
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                .collect(),
+        );
+        Value::Object(
+            [
+                ("completed", Value::from(self.completed)),
+                ("failed", Value::from(self.failed)),
+                ("rejected", Value::from(self.rejected)),
+                ("io_errors", Value::from(self.io_errors)),
+                ("warmup_requests", Value::from(self.warmup_requests)),
+                ("duration_s", Value::from(self.duration.as_secs_f64())),
+                ("throughput_qps", Value::from(self.throughput)),
+                ("latency_us_mean", Value::from(self.latency.mean_us)),
+                ("latency_us_p50", Value::from(self.latency.p50_us)),
+                ("latency_us_p90", Value::from(self.latency.p90_us)),
+                ("latency_us_p95", Value::from(self.latency.p95_us)),
+                ("latency_us_p99", Value::from(self.latency.p99_us)),
+                ("latency_us_max", Value::from(self.latency.max_us)),
+                ("outcomes", outcomes),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        )
+    }
+}
+
+/// Per-connection tallies, merged after the run.
+#[derive(Default)]
+struct ConnOutcome {
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    io_errors: u64,
+    warmup_requests: u64,
+    latencies: Vec<u64>,
+    outcomes: BTreeMap<String, u64>,
+}
+
+/// Mix `seed` into a well-spread per-request seed (splitmix64 finalizer,
+/// the same mixing the optimizer uses for per-query seeds).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Offer load per `spec` and collect a [`LoadReport`].
+///
+/// Connections run on scoped threads; the call blocks for roughly
+/// `spec.warmup + spec.duration`. Fails only if *no* connection could
+/// be established — individual connection failures mid-run are counted
+/// in [`LoadReport::io_errors`].
+pub fn run_load(spec: &LoadSpec) -> io::Result<LoadReport> {
+    let connections = spec.connections.max(1);
+    let job_spec = JobSpec::new(spec.shape);
+    // Pre-generate the class pool once; `classes == 0` generates
+    // per-request unique queries inside the loop instead.
+    let pool: Vec<QueryFile> = (0..spec.classes)
+        .map(|k| {
+            QueryFile::from_query(&generate_job_query(
+                &job_spec,
+                spec.n_joins,
+                mix(spec.seed ^ k as u64),
+            ))
+        })
+        .collect();
+
+    // Fail fast if the server is unreachable at all.
+    drop(Client::connect(&spec.addr)?);
+
+    let start = Instant::now();
+    let measure_from = start + spec.warmup;
+    let end = measure_from + spec.duration;
+
+    let results: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn_index| {
+                let pool = &pool;
+                let job_spec = &job_spec;
+                scope.spawn(move || {
+                    let mut out = ConnOutcome::default();
+                    let mut client = match Client::connect(&spec.addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            out.io_errors += 1;
+                            return out;
+                        }
+                    };
+                    let interval = spec
+                        .qps
+                        .map(|q| Duration::from_secs_f64(connections as f64 / q.max(1e-9)));
+                    let mut sent: u64 = 0;
+                    loop {
+                        if let Some(iv) = interval {
+                            let due = start + iv.mul_f64(sent as f64);
+                            if due >= end {
+                                break;
+                            }
+                            let now = Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                            }
+                        }
+                        if Instant::now() >= end {
+                            break;
+                        }
+                        let unique = mix(spec.seed ^ ((conn_index as u64) << 32 | sent) ^ 0x5eed);
+                        let query = if pool.is_empty() {
+                            QueryFile::from_query(&generate_job_query(
+                                job_spec,
+                                spec.n_joins,
+                                unique,
+                            ))
+                        } else {
+                            pool[(sent as usize + conn_index) % pool.len()].clone()
+                        };
+                        let id = (conn_index as u64) << 32 | sent;
+                        let issued = Instant::now();
+                        let reply = client.optimize(id, &query);
+                        let answered = Instant::now();
+                        sent += 1;
+                        let reply = match reply {
+                            Ok(r) => r,
+                            Err(_) => {
+                                out.io_errors += 1;
+                                break;
+                            }
+                        };
+                        if answered < measure_from {
+                            out.warmup_requests += 1;
+                            continue;
+                        }
+                        let latency_us = (answered - issued).as_micros() as u64;
+                        match reply.get("ok").and_then(Value::as_bool) {
+                            Some(true) => {
+                                out.completed += 1;
+                                out.latencies.push(latency_us);
+                                if let Some(o) = reply.get("outcome").and_then(Value::as_str) {
+                                    *out.outcomes.entry(o.to_string()).or_insert(0) += 1;
+                                }
+                            }
+                            _ => {
+                                let code = reply
+                                    .get("code")
+                                    .and_then(Value::as_str)
+                                    .unwrap_or("unknown");
+                                if code == "overload" || code == "draining" {
+                                    out.rejected += 1;
+                                } else {
+                                    out.failed += 1;
+                                    out.latencies.push(latency_us);
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection thread panicked"))
+            .collect()
+    });
+
+    let mut report = LoadReport {
+        duration: spec.duration,
+        ..Default::default()
+    };
+    let mut latencies = Vec::new();
+    for r in results {
+        report.completed += r.completed;
+        report.failed += r.failed;
+        report.rejected += r.rejected;
+        report.io_errors += r.io_errors;
+        report.warmup_requests += r.warmup_requests;
+        latencies.extend(r.latencies);
+        for (k, v) in r.outcomes {
+            *report.outcomes.entry(k).or_insert(0) += v;
+        }
+    }
+    report.throughput = report.completed as f64 / spec.duration.as_secs_f64().max(1e-9);
+    report.latency = LatencyStats::from_samples(latencies);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_exact_percentiles() {
+        let s = LatencyStats::from_samples((1..=1000).collect());
+        assert_eq!(s.p50_us, 500);
+        assert_eq!(s.p90_us, 900);
+        assert_eq!(s.p95_us, 950);
+        assert_eq!(s.p99_us, 990);
+        assert_eq!(s.max_us, 1000);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+        let one = LatencyStats::from_samples(vec![42]);
+        assert_eq!(one.p50_us, 42);
+        assert_eq!(one.p99_us, 42);
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let mut report = LoadReport {
+            completed: 10,
+            duration: Duration::from_secs(2),
+            throughput: 5.0,
+            ..Default::default()
+        };
+        report.outcomes.insert("hit".to_string(), 7);
+        let json = report.to_json();
+        assert_eq!(json.get("completed").and_then(Value::as_u64), Some(10));
+        assert_eq!(
+            json.get("throughput_qps").and_then(Value::as_f64),
+            Some(5.0)
+        );
+        assert_eq!(
+            json.get("outcomes")
+                .and_then(|o| o.get("hit"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! `ljqo-loadgen` — offer load to a running `ljqo-server`.
+//!
+//! ```text
+//! ljqo-loadgen [--addr HOST:PORT] [--connections N] [--duration-s F]
+//!              [--warmup-s F] [--qps F] [--shape star|snowflake|cyclic]
+//!              [--joins N] [--classes N] [--seed N]
+//!              [--out FILE] [--stats] [--min-completed N]
+//! ```
+//!
+//! Prints the [`ljqo_loadgen::LoadReport`] as pretty JSON to stdout
+//! (or `--out FILE`). `--stats` additionally fetches and prints the
+//! server's `/stats` document after the run. `--min-completed N` makes
+//! the process exit non-zero if fewer than `N` requests completed —
+//! the CI smoke job's assertion.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ljqo_loadgen::{run_load, LoadSpec};
+use ljqo_server::fetch_stats_http;
+use ljqo_workload::JobShape;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ljqo-loadgen [--addr HOST:PORT] [--connections N] [--duration-s F]\n\
+         \x20                   [--warmup-s F] [--qps F] [--shape star|snowflake|cyclic]\n\
+         \x20                   [--joins N] [--classes N] [--seed N]\n\
+         \x20                   [--out FILE] [--stats] [--min-completed N]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    spec: LoadSpec,
+    out: Option<String>,
+    print_stats: bool,
+    min_completed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        spec: LoadSpec::default(),
+        out: None,
+        print_stats: false,
+        min_completed: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    let value_for = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.spec.addr = value_for("--addr", &mut args),
+            "--connections" => {
+                opts.spec.connections =
+                    parse_int("--connections", &value_for("--connections", &mut args)) as usize;
+            }
+            "--duration-s" => {
+                opts.spec.duration = Duration::from_secs_f64(
+                    parse_num("--duration-s", &value_for("--duration-s", &mut args)).max(0.0),
+                );
+            }
+            "--warmup-s" => {
+                opts.spec.warmup = Duration::from_secs_f64(
+                    parse_num("--warmup-s", &value_for("--warmup-s", &mut args)).max(0.0),
+                );
+            }
+            "--qps" => {
+                opts.spec.qps = Some(parse_num("--qps", &value_for("--qps", &mut args)));
+            }
+            "--shape" => {
+                let v = value_for("--shape", &mut args);
+                opts.spec.shape = JobShape::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown shape `{v}` (star|snowflake|cyclic)");
+                    usage();
+                });
+            }
+            "--joins" => {
+                opts.spec.n_joins = parse_int("--joins", &value_for("--joins", &mut args)) as usize;
+            }
+            "--classes" => {
+                opts.spec.classes =
+                    parse_int("--classes", &value_for("--classes", &mut args)) as usize;
+            }
+            "--seed" => opts.spec.seed = parse_int("--seed", &value_for("--seed", &mut args)),
+            "--out" => opts.out = Some(value_for("--out", &mut args)),
+            "--stats" => opts.print_stats = true,
+            "--min-completed" => {
+                opts.min_completed =
+                    parse_int("--min-completed", &value_for("--min-completed", &mut args));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn parse_num(flag: &str, v: &str) -> f64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a number, got `{v}`");
+        usage();
+    })
+}
+
+fn parse_int(flag: &str, v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects an integer, got `{v}`");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let report = match run_load(&opts.spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json().to_string_pretty();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{json}"),
+    }
+    if opts.print_stats {
+        match fetch_stats_http(&opts.spec.addr) {
+            Ok(stats) => println!("{}", stats.to_string_pretty()),
+            Err(e) => {
+                eprintln!("error: cannot fetch /stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.completed < opts.min_completed {
+        eprintln!(
+            "error: completed {} requests, below --min-completed {}",
+            report.completed, opts.min_completed
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,109 @@
+//! A small blocking client for the binary protocol, used by
+//! `ljqo-loadgen`, the integration tests, and anyone scripting the
+//! daemon from Rust.
+//!
+//! The client supports both synchronous request/response
+//! ([`Client::optimize`]) and pipelining: issue several
+//! [`Client::send_optimize`] calls back-to-back, then collect replies
+//! with [`Client::recv`] and correlate by the echoed `"id"` (the server
+//! may answer out of order across batches).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ljqo_cli::QueryFile;
+use ljqo_json::Value;
+
+use crate::protocol::{
+    read_frame, write_frame, write_handshake, FrameType, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// One binary-protocol connection to an `ljqo-server`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and send the protocol handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_handshake(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one raw frame — the escape hatch for tests and tooling that
+    /// need to put arbitrary (even malformed) payloads on the wire.
+    pub fn send_frame(&mut self, kind: FrameType, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, kind, payload)
+    }
+
+    /// Pipeline one `Optimize` request without waiting for the reply.
+    pub fn send_optimize(&mut self, id: u64, query: &QueryFile) -> io::Result<()> {
+        let payload = Value::Object(vec![
+            ("id".to_string(), Value::from(id)),
+            ("query".to_string(), query.to_json()),
+        ])
+        .to_string_compact();
+        write_frame(&mut self.stream, FrameType::Optimize, payload.as_bytes())
+    }
+
+    /// Read the next server frame and parse its JSON payload. An `Error`
+    /// frame (a connection-level fault) is surfaced as an `io::Error`;
+    /// a close before any frame is `UnexpectedEof`.
+    pub fn recv(&mut self) -> io::Result<(FrameType, Value)> {
+        let frame = read_frame(&mut self.stream, DEFAULT_MAX_FRAME_BYTES)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let text = std::str::from_utf8(&frame.payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let value = ljqo_json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        if frame.kind == FrameType::Error {
+            return Err(io::Error::other(format!("server error frame: {value}")));
+        }
+        Ok((frame.kind, value))
+    }
+
+    /// Synchronous optimize: send one request and wait for its reply
+    /// (valid only when no other requests are in flight on this
+    /// connection).
+    pub fn optimize(&mut self, id: u64, query: &QueryFile) -> io::Result<Value> {
+        self.send_optimize(id, query)?;
+        let (kind, value) = self.recv()?;
+        if kind != FrameType::Response {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a Response frame, got {kind:?}"),
+            ));
+        }
+        Ok(value)
+    }
+
+    /// Fetch the server's stats document over the binary protocol.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        write_frame(&mut self.stream, FrameType::Stats, b"")?;
+        let (kind, value) = self.recv()?;
+        if kind != FrameType::StatsResponse {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a StatsResponse frame, got {kind:?}"),
+            ));
+        }
+        Ok(value)
+    }
+}
+
+/// Fetch `/stats` over HTTP — the same document [`Client::stats`]
+/// returns, via the observability port every HTTP client can reach.
+pub fn fetch_stats_http<A: ToSocketAddrs>(addr: A) -> io::Result<Value> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /stats HTTP/1.1\r\nHost: ljqo\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP body in response"))?;
+    ljqo_json::parse(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+}

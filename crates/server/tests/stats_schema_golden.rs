@@ -1,0 +1,163 @@
+//! Golden-file test for the `/stats` document schema.
+//!
+//! Same harness as `crates/cli/tests/json_schema_golden.rs`: the set of
+//! key paths (not values) is snapshotted, so any field rename, removal,
+//! or addition shows up as a reviewable diff against the committed
+//! golden file. The binary-protocol `Stats` frame and the HTTP
+//! `GET /stats` route must serve the *same* schema — both feed one
+//! snapshot and are cross-checked against each other.
+//!
+//! To update after an intentional schema change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ljqo-server --test stats_schema_golden
+//! ```
+
+use std::path::PathBuf;
+
+use ljqo_cli::QueryFile;
+use ljqo_server::{fetch_stats_http, Client, Server, ServerConfig};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/stats_schema.txt")
+}
+
+/// Collect every key path in `value`, descending objects (`a.b`) and the
+/// first element of arrays (`a[]`).
+fn key_paths(prefix: &str, value: &ljqo_json::Value, out: &mut Vec<String>) {
+    if let Some(fields) = value.as_object() {
+        for (k, v) in fields {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            out.push(path.clone());
+            key_paths(&path, v, out);
+        }
+    } else if let Some(items) = value.as_array() {
+        if let Some(first) = items.first() {
+            key_paths(&format!("{prefix}[]"), first, out);
+        }
+    }
+}
+
+fn sample_query() -> QueryFile {
+    QueryFile::from_json(
+        r#"{
+            "relations": [
+                {"name": "a", "cardinality": 10000},
+                {"name": "b", "cardinality": 500},
+                {"name": "c", "cardinality": 20000}
+            ],
+            "joins": [
+                {"left": "a", "right": "b", "selectivity": 0.01},
+                {"left": "b", "right": "c", "selectivity": 0.001}
+            ]
+        }"#,
+    )
+    .expect("sample query parses")
+}
+
+#[test]
+fn stats_schema_matches_the_golden_file_on_both_transports() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind on an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    let running = std::thread::spawn(move || server.run());
+
+    // Serve one query so the latency / batch / serving blocks carry
+    // real counts — the schema must be identical either way because
+    // every key is always present, but exercising the counters makes
+    // the snapshot honest.
+    let mut client = Client::connect(addr).expect("client connects");
+    let reply = client.optimize(1, &sample_query()).expect("optimize runs");
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    let binary_stats = client.stats().expect("binary stats frame");
+    let http_stats = fetch_stats_http(addr).expect("HTTP /stats");
+
+    let mut binary_paths = Vec::new();
+    key_paths("", &binary_stats, &mut binary_paths);
+    let mut http_paths = Vec::new();
+    key_paths("", &http_stats, &mut http_paths);
+    assert_eq!(
+        binary_paths, http_paths,
+        "binary Stats frame and HTTP GET /stats must serve the same schema"
+    );
+
+    let mut paths = binary_paths;
+    paths.sort();
+    paths.dedup();
+    let got = paths.join("\n") + "\n";
+
+    handle.shutdown();
+    let final_stats = running.join().expect("server drains");
+    // The final document printed at drain time is the same schema too.
+    let mut final_paths = Vec::new();
+    key_paths("", &final_stats, &mut final_paths);
+    final_paths.sort();
+    final_paths.dedup();
+    assert_eq!(final_paths.join("\n") + "\n", got);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &got).expect("golden file is writable");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path())
+        .expect("golden file exists (run with UPDATE_GOLDEN=1 to create it)");
+    assert_eq!(
+        got, want,
+        "/stats schema drifted from the golden file; if intentional, \
+         re-run with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn stats_values_are_coherent_after_one_request() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).unwrap();
+    client.optimize(7, &sample_query()).unwrap();
+    let stats = client.stats().unwrap();
+
+    let u = |path: &[&str]| -> u64 {
+        let mut v = &stats;
+        for p in path {
+            v = v.get(p).unwrap_or_else(|| panic!("missing {path:?}"));
+        }
+        v.as_u64().unwrap_or_else(|| panic!("{path:?} not a u64"))
+    };
+    assert_eq!(u(&["requests", "received"]), 1);
+    assert_eq!(u(&["requests", "admitted"]), 1);
+    assert_eq!(u(&["requests", "completed"]), 1);
+    assert_eq!(u(&["requests", "in_flight"]), 0);
+    assert_eq!(u(&["serving", "queries"]), 1);
+    assert_eq!(u(&["serving", "cold_solves"]), 1);
+    assert_eq!(u(&["cache", "inserts"]), 1);
+    assert_eq!(u(&["latency_us", "count"]), 1);
+    assert_eq!(u(&["batches", "count"]), 1);
+    assert_eq!(u(&["degradation", "none"]), 1);
+    assert_eq!(u(&["method_wins", "IAI"]), 1);
+    assert_eq!(
+        stats
+            .get("server")
+            .and_then(|s| s.get("draining"))
+            .and_then(|v| v.as_bool()),
+        Some(false)
+    );
+
+    handle.shutdown();
+    running.join().unwrap();
+}
