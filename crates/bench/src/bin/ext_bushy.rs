@@ -9,7 +9,7 @@
 //! the ratio — per benchmark shape, since stars and chains constrain the
 //! tree shapes very differently.
 
-use ljqo::bushy::optimal_bushy_dp;
+use ljqo::bushy::{optimal_bushy_dp, BUSHY_MAX_RELATIONS};
 use ljqo::dp::optimal_order_dp;
 use ljqo_bench::Args;
 use ljqo_cost::{DiskCostModel, MemoryCostModel};
@@ -18,7 +18,20 @@ use ljqo_workload::{generate_query, Benchmark};
 fn main() {
     let args = Args::parse();
     let queries_per_bench = args.queries_per_n.unwrap_or(8);
-    let n_joins = 12;
+    // N relations = joins + 1 must fit the exact bushy DP.
+    let max_joins = BUSHY_MAX_RELATIONS - 1;
+    let n_joins = match args.joins {
+        Some(j) if j > max_joins => {
+            eprintln!(
+                "--joins {j} exceeds the exact bushy DP limit of \
+                 {BUSHY_MAX_RELATIONS} relations; clamping to {max_joins} joins \
+                 (use the bushy_search bench for larger N)"
+            );
+            max_joins
+        }
+        Some(j) => j.max(1),
+        None => 12,
+    };
     let memory = MemoryCostModel::default();
     let disk = DiskCostModel::default();
 
@@ -49,7 +62,13 @@ fn main() {
             let comp: Vec<_> = query.rel_ids().collect();
 
             let (_, lin_m) = optimal_order_dp(&query, &comp, &memory).unwrap();
-            let (tree, bush_m) = optimal_bushy_dp(&query, &comp, &memory).unwrap();
+            // The bushy DP returns typed errors for oversized or
+            // disconnected inputs; neither can occur here (joins are
+            // clamped above, generated queries are connected), so an
+            // error is a real bug worth surfacing.
+            let (tree, bush_m) = optimal_bushy_dp(&query, &comp, &memory)
+                .expect("bushy DP rejected a clamped, connected query")
+                .expect("generated queries have at least two relations");
             let ratio_m = lin_m / bush_m;
             mem_sum += ratio_m;
             mem_max = mem_max.max(ratio_m);
@@ -58,7 +77,9 @@ fn main() {
             }
 
             let (_, lin_d) = optimal_order_dp(&query, &comp, &disk).unwrap();
-            let (_, bush_d) = optimal_bushy_dp(&query, &comp, &disk).unwrap();
+            let (_, bush_d) = optimal_bushy_dp(&query, &comp, &disk)
+                .expect("bushy DP rejected a clamped, connected query")
+                .expect("generated queries have at least two relations");
             disk_sum += lin_d / bush_d;
         }
         let q = queries_per_bench as f64;

@@ -4,6 +4,7 @@
 //!
 //! * `--queries <k>` — queries per join count (default depends on binary)
 //! * `--replicates <k>` — replicates per query
+//! * `--joins <k>` — join count, for binaries that run one fixed `N`
 //! * `--kappa <f>` — budget units per `N²`
 //! * `--seed <u64>` — base seed
 //! * `--paper-scale` — the paper's 50-queries/2-replicate configuration
@@ -20,6 +21,8 @@ pub struct Args {
     pub queries_per_n: Option<usize>,
     /// Replicates per query, if overridden.
     pub replicates: Option<usize>,
+    /// Join count for single-`N` binaries (`ext_bushy`), if overridden.
+    pub joins: Option<usize>,
     /// Budget calibration, if overridden.
     pub kappa: Option<f64>,
     /// Base seed, if overridden.
@@ -41,6 +44,7 @@ impl Args {
         let mut out = Args {
             queries_per_n: None,
             replicates: None,
+            joins: None,
             kappa: None,
             seed: None,
             paper_scale: false,
@@ -67,6 +71,13 @@ impl Args {
                             .unwrap_or_else(|_| die("--replicates must be an integer")),
                     )
                 }
+                "--joins" => {
+                    out.joins = Some(
+                        value("--joins")
+                            .parse()
+                            .unwrap_or_else(|_| die("--joins must be an integer")),
+                    )
+                }
                 "--kappa" => {
                     out.kappa = Some(
                         value("--kappa")
@@ -85,8 +96,8 @@ impl Args {
                 "--out" => out.out_dir = PathBuf::from(value("--out")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --queries <k> --replicates <k> --kappa <f> --seed <u64> \
-                         --paper-scale --out <dir>"
+                        "flags: --queries <k> --replicates <k> --joins <k> --kappa <f> \
+                         --seed <u64> --paper-scale --out <dir>"
                     );
                     std::process::exit(0);
                 }
@@ -173,6 +184,13 @@ mod tests {
     fn defaults() {
         let a = Args::parse_from(strs(&[]));
         assert!(!a.paper_scale);
+        assert!(a.joins.is_none());
         assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn joins_flag_parses() {
+        let a = Args::parse_from(strs(&["--joins", "14"]));
+        assert_eq!(a.joins, Some(14));
     }
 }

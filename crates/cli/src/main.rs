@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ljqo-opt [QUERY.json] [--method IAI] [--model memory|disk|multi]
+//!          [--space linear|bushy]
 //!          [--tau 9] [--kappa 5] [--seed 0] [--deadline-ms N]
 //!          [--workers N] [--cooperate] [--portfolio]
 //!          [--cache-entries N] [--cache-shards N] [--fp-buckets N]
@@ -15,6 +16,16 @@
 //! nine methods and prints a comparison table. `--deadline-ms` bounds the
 //! wall-clock time of the search; when it (or a fault in the search)
 //! forces a fallback plan, the degradation is reported in the output.
+//!
+//! Search space: `--space bushy` lifts the paper's outer-linear
+//! restriction and searches mutable bushy trees with incremental
+//! path-to-root re-costing (`--method BUSHYII` or `BUSHYSA` pick the
+//! descent; the nine linear method names map onto the matching tree
+//! search). The `"space"` key is always present in `--json` output, and
+//! `"bushy"` reports whether any emitted segment is genuinely bushy.
+//! Bushy search is a plain single-threaded solve: it rejects the plan
+//! cache, parallel/portfolio/cooperate, `--qerror`, and `--all-methods`
+//! flags (usage error), which are all wired to the linear plan type.
 //!
 //! Workload generation: instead of a query file, `--workload-shape`
 //! generates a JOB-shaped query (star, snowflake, or cyclic around a
@@ -86,6 +97,7 @@ struct Options {
     input: String,
     method: Method,
     model: String,
+    space: String,
     tau: f64,
     kappa: f64,
     seed: u64,
@@ -106,8 +118,10 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ljqo-opt [QUERY.json] [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI|CARDFREE]\n\
-         \x20                         [--model memory|disk|multi] [--tau F] [--kappa F]\n\
+        "usage: ljqo-opt [QUERY.json] [--method II|SA|SAA|SAK|IAI|IKI|IAL|AGI|KBI|CARDFREE\n\
+         \x20                                   |BUSHYII|BUSHYSA]\n\
+         \x20                         [--model memory|disk|multi] [--space linear|bushy]\n\
+         \x20                         [--tau F] [--kappa F]\n\
          \x20                         [--seed U64] [--deadline-ms U64] [--workers N]\n\
          \x20                         [--cooperate] [--portfolio] [--cache-entries N]\n\
          \x20                         [--cache-shards N] [--fp-buckets N]\n\
@@ -125,6 +139,7 @@ fn parse_args() -> Options {
         input: String::new(),
         method: Method::Iai,
         model: "memory".into(),
+        space: "linear".into(),
         tau: 9.0,
         kappa: 5.0,
         seed: 0,
@@ -159,6 +174,14 @@ fn parse_args() -> Options {
                 });
             }
             "--model" => opts.model = value("--model"),
+            "--space" => {
+                let v = value("--space");
+                if v != "linear" && v != "bushy" {
+                    eprintln!("error: unknown search space {v:?} (expected linear or bushy)");
+                    usage()
+                }
+                opts.space = v;
+            }
             "--tau" => opts.tau = value("--tau").parse().unwrap_or_else(|_| usage()),
             "--kappa" => opts.kappa = value("--kappa").parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
@@ -238,6 +261,26 @@ fn parse_args() -> Options {
         eprintln!("error: give exactly one of QUERY.json and --workload-shape");
         usage();
     }
+    if opts.space == "bushy" {
+        // Everything downstream of these flags — the plan cache, the
+        // parallel drivers, the regret replay, the nine-method table —
+        // is wired to the linear `Plan` type. Refuse loudly rather
+        // than silently fall back to a linear solve.
+        let conflict = [
+            (opts.workers > 1, "--workers"),
+            (opts.portfolio, "--portfolio"),
+            (opts.cooperate, "--cooperate"),
+            (opts.cache_entries > 0, "--cache-entries"),
+            (opts.qerror > 1.0, "--qerror"),
+            (opts.all_methods, "--all-methods"),
+        ]
+        .into_iter()
+        .find_map(|(on, flag)| on.then_some(flag));
+        if let Some(flag) = conflict {
+            eprintln!("error: {flag} requires the linear search space (drop --space bushy)");
+            usage();
+        }
+    }
     opts
 }
 
@@ -296,10 +339,106 @@ fn robustness_json(sample: Option<&RegretSample>, opts: &Options) -> ljqo_json::
     })
 }
 
+/// Render a join tree with relation names, e.g. `((A ⋈ B) ⋈ (C ⋈ D))`.
+fn render_tree(tree: &BushyTree, query: &Query) -> String {
+    match tree {
+        BushyTree::Leaf(r) => query.relation(*r).name.clone(),
+        BushyTree::Join(l, r) => {
+            format!("({} ⋈ {})", render_tree(l, query), render_tree(r, query))
+        }
+    }
+}
+
+/// The `--space bushy` solve: a plain single-threaded bushy-tree search,
+/// reported through the same JSON schema as the linear path (with the
+/// linear-only blocks present but disabled).
+fn run_bushy(
+    query: &Query,
+    model: &dyn CostModel,
+    config: &OptimizerConfig,
+    opts: &Options,
+) -> ExitCode {
+    let result = match try_optimize_bushy(query, model, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return exit_for(&e);
+        }
+    };
+    if opts.json {
+        let segments: Vec<ljqo_json::Value> = result
+            .trees
+            .iter()
+            .map(|tree| {
+                let names: Vec<String> = tree
+                    .leaves()
+                    .iter()
+                    .map(|&r| query.relation(r).name.clone())
+                    .collect();
+                ljqo_json::Value::from(names)
+            })
+            .collect();
+        let trees: Vec<String> = result.trees.iter().map(|t| render_tree(t, query)).collect();
+        let out = ljqo_json::json!({
+            "method": opts.method.name(),
+            "model": opts.model.clone(),
+            "space": "bushy",
+            "bushy": result.is_bushy(),
+            "cost": result.cost,
+            "segments": segments,
+            "trees": trees,
+            "evaluations": result.n_evals,
+            "budget_units": result.units_used,
+            "degradation": result.degradation.label(),
+            "degraded": result.degradation.is_degraded(),
+            "deadline_expired": result.deadline_expired,
+            "workers": 1u64,
+            "portfolio": false,
+            "cooperate": false,
+            "workers_failed": 0u64,
+            "cache": cache_json(None, None, opts),
+            "robustness": robustness_json(None, opts),
+        });
+        println!("{}", out.to_string_pretty());
+    } else {
+        println!(
+            "method {} under the {} cost model (τ = {}N², κ = {}), bushy search space",
+            opts.method.name(),
+            opts.model,
+            opts.tau,
+            opts.kappa
+        );
+        println!("estimated cost: {:.6e}", result.cost);
+        println!(
+            "search effort: {} evaluations / {} budget units",
+            result.n_evals, result.units_used
+        );
+        if !result.is_bushy() {
+            println!("notice: the best tree found is outer linear");
+        }
+        if result.deadline_expired {
+            println!("notice: wall-clock deadline expired during the search");
+        }
+        if result.degradation.is_degraded() {
+            println!(
+                "notice: plan degraded to the {} fallback — treat its cost as a rough bound",
+                result.degradation.label()
+            );
+        }
+        println!();
+        for (tree, cost) in result.trees.iter().zip(&result.segment_costs) {
+            println!("{}  [segment cost {:.6e}]", render_tree(tree, query), cost);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn exit_for(err: &OptError) -> ExitCode {
     match err {
         OptError::Catalog(_) => ExitCode::from(EXIT_CATALOG),
-        OptError::NoValidPlan { .. } => ExitCode::from(EXIT_OPTIMIZER),
+        OptError::NoValidPlan { .. }
+        | OptError::ComponentTooLarge { .. }
+        | OptError::DisconnectedComponent { .. } => ExitCode::from(EXIT_OPTIMIZER),
     }
 }
 
@@ -348,6 +487,10 @@ fn main() -> ExitCode {
         }
         config
     };
+
+    if opts.space == "bushy" {
+        return run_bushy(&query, model.as_ref(), &config_for(opts.method), &opts);
+    }
 
     if opts.all_methods {
         println!(
@@ -450,11 +593,22 @@ fn main() -> ExitCode {
             .collect();
         let segments: Vec<ljqo_json::Value> =
             order.into_iter().map(ljqo_json::Value::from).collect();
+        // Linear segments rendered as (left-deep) trees, so the schema
+        // matches the bushy space key for key.
+        let trees: Vec<String> = result
+            .plan
+            .segments
+            .iter()
+            .map(|seg| render_tree(&BushyTree::left_deep(seg.rels()), &query))
+            .collect();
         let out = ljqo_json::json!({
             "method": opts.method.name(),
             "model": opts.model,
+            "space": "linear",
+            "bushy": false,
             "cost": result.cost,
             "segments": segments,
+            "trees": trees,
             "evaluations": result.n_evals,
             "budget_units": result.units_used,
             "degradation": result.degradation.label(),

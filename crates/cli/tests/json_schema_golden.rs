@@ -74,12 +74,18 @@ fn run_cli_generated(extra: &[&str]) -> ljqo_json::Value {
 
 #[test]
 fn json_schema_matches_the_golden_file() {
-    // Three invocations: caching off (the default), caching on, and a
-    // generated workload with an injected q-error. The schema must be
-    // identical every way — the cache and robustness blocks are always
-    // present — so all three feed one snapshot.
+    // Four invocations: caching off (the default), caching on, a
+    // generated workload with an injected q-error, and the bushy search
+    // space. The schema must be identical every way — the cache and
+    // robustness blocks are always present, and the bushy path mirrors
+    // the linear keys — so all four feed one snapshot.
     let mut paths = Vec::new();
     key_paths("", &run_cli(&[]), &mut paths);
+    key_paths(
+        "",
+        &run_cli(&["--space", "bushy", "--method", "BUSHYII"]),
+        &mut paths,
+    );
     key_paths(
         "",
         &run_cli(&[
@@ -123,6 +129,64 @@ fn json_schema_matches_the_golden_file() {
         "JSON schema drifted from the golden file; if intentional, \
          re-run with UPDATE_GOLDEN=1 and review the diff"
     );
+}
+
+#[test]
+fn bushy_space_reports_trees_and_rejects_linear_only_flags() {
+    // `--space bushy` emits the same schema with `"space": "bushy"`,
+    // per-segment rendered trees, and a cost no worse than the linear
+    // solve of the same query at the same budget and seed.
+    let bushy = run_cli(&["--space", "bushy", "--method", "BUSHYII", "--seed", "3"]);
+    assert_eq!(bushy.get("space").and_then(|v| v.as_str()), Some("bushy"));
+    assert_eq!(
+        bushy.get("method").and_then(|v| v.as_str()),
+        Some("BUSHYII")
+    );
+    let bushy_cost = bushy.get("cost").and_then(|v| v.as_f64()).unwrap();
+    assert!(bushy_cost.is_finite() && bushy_cost > 0.0);
+    let trees = bushy.get("trees").and_then(|v| v.as_array()).unwrap();
+    let segments = bushy.get("segments").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(trees.len(), segments.len());
+    for tree in trees {
+        let rendered = tree.as_str().expect("trees are rendered strings");
+        assert!(rendered.contains('⋈') || !rendered.contains('('));
+    }
+
+    let linear = run_cli(&["--seed", "3"]);
+    assert_eq!(linear.get("space").and_then(|v| v.as_str()), Some("linear"));
+    assert_eq!(linear.get("bushy").and_then(|v| v.as_bool()), Some(false));
+    let linear_cost = linear.get("cost").and_then(|v| v.as_f64()).unwrap();
+    assert!(
+        bushy_cost <= linear_cost * (1.0 + 1e-9),
+        "bushy ({bushy_cost:e}) must not lose to linear ({linear_cost:e})"
+    );
+
+    // The linear-only flags are refused loudly (usage error, exit 2),
+    // never silently downgraded to a linear solve.
+    for conflict in [
+        ["--workers", "2"].as_slice(),
+        ["--portfolio"].as_slice(),
+        ["--cooperate"].as_slice(),
+        ["--cache-entries", "8"].as_slice(),
+        ["--qerror", "10"].as_slice(),
+        ["--all-methods"].as_slice(),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ljqo-opt"))
+            .arg(sample_path())
+            .args(["--space", "bushy"])
+            .args(conflict)
+            .output()
+            .expect("CLI binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{conflict:?} with --space bushy must be a usage error"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("linear search space"),
+            "{conflict:?} error message names the conflict"
+        );
+    }
 }
 
 #[test]

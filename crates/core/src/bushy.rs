@@ -1,20 +1,33 @@
-//! Bushy-tree dynamic programming — attacking the paper's open problem.
+//! The bushy join-tree type and its exact dynamic program.
 //!
-//! §2: the search is restricted to outer linear join trees "based on the
-//! assumption that a significant fraction of the join trees with low
-//! processing cost is to be found in the space of outer linear join
+//! §2 of the paper restricts the search to outer linear join trees "based
+//! on the assumption that a significant fraction of the join trees with
+//! low processing cost is to be found in the space of outer linear join
 //! trees. The validation of this assumption is an open problem." This
-//! module computes the exact optimum over **all** cross-product-free
-//! bushy trees (both join operands may be intermediates) for small
-//! components, so the linear-tree optimum from [`crate::dp`] can be
-//! compared against it — the `ext_bushy` bench does exactly that.
+//! module provides the shared [`BushyTree`] representation (both join
+//! operands may be intermediates) and two ways to attack that open
+//! problem:
 //!
-//! Complexity is `O(3^k)` over the `2^k` connected subsets (submask
-//! enumeration), practical to ~16 relations.
+//! * [`optimal_bushy_dp`] — the exact optimum over **all**
+//!   cross-product-free bushy trees for small components (`O(3^k)`
+//!   submask enumeration, hard-limited to [`BUSHY_MAX_RELATIONS`]), used
+//!   as the ground truth the linear DP ([`crate::dp`]) and the bushy
+//!   local search are compared against;
+//! * the full bushy **local search** lives in [`crate::bushy_search`]: it
+//!   runs II/SA-style moves over arena-backed trees
+//!   ([`ljqo_plan::TreePlan`]) with path-to-root incremental re-costing,
+//!   and scales far past the DP limit.
+//!
+//! Oversized or disconnected inputs yield typed [`OptError`]s (not
+//! panics), so the driver's degradation ladder can route around them; the
+//! width convention for [`JoinCtx::outer_rels`] is `output width − 1`
+//! everywhere, matching the left-deep walks.
 
 use ljqo_catalog::{Query, RelId};
 use ljqo_cost::estimate::clamp_card;
 use ljqo_cost::{CostModel, JoinCtx};
+
+use crate::error::OptError;
 
 /// Maximum component size accepted by [`optimal_bushy_dp`].
 pub const BUSHY_MAX_RELATIONS: usize = 18;
@@ -29,6 +42,20 @@ pub enum BushyTree {
 }
 
 impl BushyTree {
+    /// Build the outer-linear (left-deep) tree for a relation sequence —
+    /// the shape that embeds a [`ljqo_plan::JoinOrder`] into the bushy
+    /// space.
+    ///
+    /// Panics on an empty sequence.
+    pub fn left_deep(rels: &[RelId]) -> Self {
+        let (&first, rest) = rels.split_first().expect("empty join order");
+        let mut tree = BushyTree::Leaf(first);
+        for &r in rest {
+            tree = BushyTree::Join(Box::new(tree), Box::new(BushyTree::Leaf(r)));
+        }
+        tree
+    }
+
     /// Number of base relations in the tree.
     pub fn n_leaves(&self) -> usize {
         match self {
@@ -70,23 +97,29 @@ impl std::fmt::Display for BushyTree {
 /// The optimal cross-product-free **bushy** join tree of `component` and
 /// its cost.
 ///
-/// `None` for singleton components; panics on oversized or disconnected
-/// components. The width convention for [`JoinCtx::outer_rels`] is
-/// `output width − 1`, consistent with the left-deep walks where the
-/// inner always contributes one relation.
+/// `Ok(None)` for singleton components (nothing to join);
+/// [`OptError::ComponentTooLarge`] beyond [`BUSHY_MAX_RELATIONS`] and
+/// [`OptError::DisconnectedComponent`] when `component` is not one
+/// connected piece of the join graph — typed errors rather than the
+/// `assert!`s this function used to carry, so the search-validation path
+/// and `ext_bushy` can degrade instead of aborting. The width convention
+/// for [`JoinCtx::outer_rels`] is `output width − 1`, consistent with the
+/// left-deep walks where the inner always contributes one relation.
 pub fn optimal_bushy_dp(
     query: &Query,
     component: &[RelId],
     model: &dyn CostModel,
-) -> Option<(BushyTree, f64)> {
+) -> Result<Option<(BushyTree, f64)>, OptError> {
     let k = component.len();
     if k < 2 {
-        return None;
+        return Ok(None);
     }
-    assert!(
-        k <= BUSHY_MAX_RELATIONS,
-        "bushy DP over {k} relations is O(3^{k}); limit is {BUSHY_MAX_RELATIONS}"
-    );
+    if k > BUSHY_MAX_RELATIONS {
+        return Err(OptError::ComponentTooLarge {
+            n_relations: k,
+            limit: BUSHY_MAX_RELATIONS,
+        });
+    }
     let n_states = 1usize << k;
     let full = n_states - 1;
 
@@ -100,7 +133,10 @@ pub fn optimal_bushy_dp(
         }
     }
 
-    // Connectivity and cardinality per subset.
+    // Connectivity and cardinality per subset. Reject a disconnected
+    // input before running the DP at all: no cross-product-free tree
+    // covers it, and the caller (which should have split components
+    // upstream) needs the typed error, not `f64::INFINITY` artifacts.
     let mut connected = vec![false; n_states];
     let mut card = vec![0.0f64; n_states];
     for mask in 1usize..n_states {
@@ -108,6 +144,9 @@ pub fn optimal_bushy_dp(
         if connected[mask] {
             card[mask] = subset_cardinality(query, component, mask as u32);
         }
+    }
+    if !connected[full] {
+        return Err(OptError::DisconnectedComponent { n_relations: k });
     }
 
     // DP over connected subsets: best (cost, split) with split = the
@@ -148,11 +187,13 @@ pub fn optimal_bushy_dp(
         }
     }
 
-    assert!(
-        cost[full].is_finite(),
-        "component is not connected: no bushy tree covers it"
-    );
-    Some((rebuild(component, &split, full as u32), cost[full]))
+    if !cost[full].is_finite() {
+        // Connected, yet no finite-cost tree: a model emitted `INFINITY`
+        // or `NaN` for every split. There is no tree to rebuild (`split`
+        // was never set), so this degrades like a disconnection.
+        return Err(OptError::DisconnectedComponent { n_relations: k });
+    }
+    Ok(Some((rebuild(component, &split, full as u32), cost[full])))
 }
 
 fn rebuild(component: &[RelId], split: &[u32], mask: u32) -> BushyTree {
@@ -250,7 +291,7 @@ mod tests {
         for q in [chain_query(), bushy_friendly_query()] {
             let comp: Vec<RelId> = q.rel_ids().collect();
             let (_, linear) = optimal_order_dp(&q, &comp, &model).unwrap();
-            let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap();
+            let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap().unwrap();
             assert!(
                 bushy <= linear * (1.0 + 1e-12),
                 "bushy {bushy} > linear {linear}"
@@ -272,7 +313,7 @@ mod tests {
         let q = chain_query();
         let model = MemoryCostModel::default();
         let comp: Vec<RelId> = q.rel_ids().collect();
-        let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap();
+        let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap().unwrap();
         let (_, linear) = optimal_order_dp(&q, &comp, &model).unwrap();
         if tree.is_linear() {
             assert!((bushy - linear).abs() <= linear * 1e-12);
@@ -287,7 +328,7 @@ mod tests {
         let model = MemoryCostModel::default();
         let comp: Vec<RelId> = q.rel_ids().collect();
         let (_, linear) = optimal_order_dp(&q, &comp, &model).unwrap();
-        let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap();
+        let (tree, bushy) = optimal_bushy_dp(&q, &comp, &model).unwrap().unwrap();
         assert!(
             !tree.is_linear() && bushy < linear,
             "expected a strictly better bushy plan, got {tree} at {bushy} vs {linear}"
@@ -323,6 +364,59 @@ mod tests {
     fn singleton_is_none() {
         let q = chain_query();
         let model = MemoryCostModel::default();
-        assert!(optimal_bushy_dp(&q, &[RelId(0)], &model).is_none());
+        assert!(optimal_bushy_dp(&q, &[RelId(0)], &model).unwrap().is_none());
+    }
+
+    #[test]
+    fn left_deep_embeds_an_order() {
+        let t = BushyTree::left_deep(&[RelId(0), RelId(1), RelId(2)]);
+        assert!(t.is_linear());
+        assert_eq!(t.to_string(), "((R0 ⋈ R1) ⋈ R2)");
+        assert_eq!(t.leaves(), vec![RelId(0), RelId(1), RelId(2)]);
+    }
+
+    #[test]
+    fn oversized_component_is_a_typed_error() {
+        // Regression: this used to `assert!` and abort the process.
+        let mut b = QueryBuilder::new();
+        let n = BUSHY_MAX_RELATIONS + 1;
+        for i in 0..n {
+            b = b.relation(format!("r{i}"), 100);
+        }
+        for i in 1..n {
+            b = b.join(&format!("r{}", i - 1), &format!("r{i}"), 0.01);
+        }
+        let q = b.build().unwrap();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        match optimal_bushy_dp(&q, &comp, &model) {
+            Err(OptError::ComponentTooLarge { n_relations, limit }) => {
+                assert_eq!(n_relations, n);
+                assert_eq!(limit, BUSHY_MAX_RELATIONS);
+            }
+            other => panic!("expected ComponentTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_component_is_a_typed_error() {
+        // Regression: this used to `assert!` (after burning the whole DP).
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .relation("c", 30)
+            .relation("d", 40)
+            .join("a", "b", 0.1)
+            .join("c", "d", 0.1)
+            .build()
+            .unwrap();
+        let comp: Vec<RelId> = q.rel_ids().collect();
+        let model = MemoryCostModel::default();
+        match optimal_bushy_dp(&q, &comp, &model) {
+            Err(OptError::DisconnectedComponent { n_relations }) => {
+                assert_eq!(n_relations, 4);
+            }
+            other => panic!("expected DisconnectedComponent, got {other:?}"),
+        }
     }
 }

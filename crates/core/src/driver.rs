@@ -139,13 +139,15 @@ pub struct Optimized {
     pub workers_failed: usize,
 }
 
-/// What planning one component produced, and how.
-struct ComponentOutcome {
-    best: Option<(JoinOrder, f64)>,
-    units_used: u64,
-    n_evals: u64,
-    deadline_expired: bool,
-    degradation: Degradation,
+/// What planning one component produced, and how. Shared with the bushy
+/// driver (`crate::bushy_search`), whose fallback ladder is the linear
+/// one.
+pub(crate) struct ComponentOutcome {
+    pub(crate) best: Option<(JoinOrder, f64)>,
+    pub(crate) units_used: u64,
+    pub(crate) n_evals: u64,
+    pub(crate) deadline_expired: bool,
+    pub(crate) degradation: Degradation,
 }
 
 /// Plan one join-graph component down the fallback ladder:
@@ -227,7 +229,7 @@ fn plan_component(
 /// RNG's state depends on where the search stopped, and under a
 /// wall-clock [`Deadline`] that point is machine-dependent, which used
 /// to make fallback plans non-reproducible across same-seed runs.
-fn component_fallback(
+pub(crate) fn component_fallback(
     query: &Query,
     model: &dyn CostModel,
     config: &OptimizerConfig,

@@ -29,6 +29,26 @@ pub enum OptError {
         /// Index of the failing component in `query.graph().components()`.
         component: usize,
     },
+    /// An exact algorithm was asked to solve a component larger than its
+    /// complexity admits (the bushy DP is `O(3^k)`; beyond
+    /// [`BUSHY_MAX_RELATIONS`](crate::bushy::BUSHY_MAX_RELATIONS) a single
+    /// call would outlast any budget). Callers degrade to local search
+    /// instead of crashing.
+    ComponentTooLarge {
+        /// Relations in the offending component.
+        n_relations: usize,
+        /// The algorithm's hard limit.
+        limit: usize,
+    },
+    /// A relation set handed to an exact algorithm as one "component" is
+    /// not actually connected in the join graph, so no cross-product-free
+    /// plan covers it. Component splitting happens upstream
+    /// (`query.graph().components()`); seeing this means the caller
+    /// skipped it.
+    DisconnectedComponent {
+        /// Relations in the offending set.
+        n_relations: usize,
+    },
 }
 
 impl std::fmt::Display for OptError {
@@ -40,6 +60,16 @@ impl std::fmt::Display for OptError {
                 "no valid join order could be produced for join-graph component {component} \
                  (method and all fallbacks failed)"
             ),
+            OptError::ComponentTooLarge { n_relations, limit } => write!(
+                f,
+                "component has {n_relations} relations but the exact algorithm is limited \
+                 to {limit} (use local search beyond that)"
+            ),
+            OptError::DisconnectedComponent { n_relations } => write!(
+                f,
+                "relation set of size {n_relations} is not a connected join-graph component: \
+                 no cross-product-free plan covers it"
+            ),
         }
     }
 }
@@ -48,7 +78,9 @@ impl std::error::Error for OptError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             OptError::Catalog(e) => Some(e),
-            OptError::NoValidPlan { .. } => None,
+            OptError::NoValidPlan { .. }
+            | OptError::ComponentTooLarge { .. }
+            | OptError::DisconnectedComponent { .. } => None,
         }
     }
 }

@@ -30,6 +30,10 @@
 //! * [`dp`] — exact System-R-style dynamic programming over valid
 //!   left-deep trees, feasible only for small `N`; used as a test oracle
 //!   and a baseline.
+//! * [`bushy`] / [`bushy_search`] — the paper's open problem attacked
+//!   head-on: exact bushy DP for small components, and II/SA local search
+//!   over arena-backed bushy trees ([`try_optimize_bushy`]) for large
+//!   ones, with path-to-root incremental re-costing.
 //! * [`eval`] — the paper's scaled-cost statistics (outlying values coerced
 //!   to 10).
 //!
@@ -59,6 +63,7 @@
 
 pub mod analysis;
 pub mod bushy;
+pub mod bushy_search;
 mod cached;
 pub mod dp;
 mod driver;
@@ -75,6 +80,10 @@ mod sampling;
 pub mod serving;
 pub mod trace;
 
+pub use bushy_search::{
+    bushy_gap_vs_dp, bushy_tree_cost, try_optimize_bushy, BushyIterativeImprovement,
+    BushyOptimized, BushySimulatedAnnealing,
+};
 pub use cached::{optimize_batch_cached, optimize_cached, optimize_cached_parallel, CacheOutcome};
 pub use driver::{
     optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,

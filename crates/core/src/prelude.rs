@@ -5,6 +5,10 @@
 //! ```
 
 pub use crate::bushy::{optimal_bushy_dp, BushyTree};
+pub use crate::bushy_search::{
+    bushy_gap_vs_dp, bushy_tree_cost, try_optimize_bushy, BushyIterativeImprovement,
+    BushyOptimized, BushySimulatedAnnealing,
+};
 pub use crate::dp::{optimal_order_dp, optimal_order_exhaustive};
 pub use crate::eval::{mean_scaled_cost, per_query_best, scaled_cost, OUTLIER_CAP};
 pub use crate::parallel::{

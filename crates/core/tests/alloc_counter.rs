@@ -20,8 +20,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use ljqo_catalog::{CompiledQuery, Query, QueryBuilder, RelId};
-use ljqo_cost::{Estimator, Evaluator, IncrementalEvaluator, MemoryCostModel};
-use ljqo_plan::{random_valid_order, MoveGenerator, MoveSet};
+use ljqo_cost::{Estimator, Evaluator, IncrementalEvaluator, MemoryCostModel, TreeEvaluator};
+use ljqo_plan::{random_valid_order, MoveGenerator, MoveSet, TreeMoveSet, TreePlan};
 
 struct CountingAlloc;
 
@@ -156,6 +156,58 @@ fn propagated_move_loop_is_allocation_free() {
         events, 0,
         "propagated steady-state move loop performed {events} heap allocations"
     );
+}
+
+/// The bushy tree-evaluator loop (propose → `eval_pending` →
+/// commit/rollback with path-to-root re-costing) is allocation-free at
+/// steady state in release builds: the candidate/memo arrays, the dirty
+/// list and the plan's undo log all reuse their warmed-up capacity.
+/// Debug builds intentionally run the full bottom-up agreement
+/// assertion on every `eval_pending`, which prices the whole tree into
+/// temporary buffers — so there the assertion is skipped rather than
+/// weakened, mirroring the `cost_move` test below.
+#[test]
+fn tree_evaluator_move_loop_is_allocation_free_in_release() {
+    const WARMUP: usize = 64;
+    const ITERS: usize = 512;
+
+    let q = test_query();
+    let model = MemoryCostModel::default();
+    let compiled = Arc::new(CompiledQuery::new(&q));
+    let comp: Vec<RelId> = q.rel_ids().collect();
+    let mut rng = SmallRng::seed_from_u64(0xa110c + 2);
+    let order = random_valid_order(q.graph(), &comp, &mut rng);
+    let plan = TreePlan::from_order(&compiled, order.rels());
+    let mut te = TreeEvaluator::new(&model, Arc::clone(&compiled), plan);
+    let moves = TreeMoveSet::default();
+    let mut current = te.current_cost();
+    let mut committed = 0u64;
+
+    let mut before = 0u64;
+    for iter in 0..WARMUP + ITERS {
+        if iter == WARMUP {
+            before = alloc_events();
+        }
+        if te.propose(&moves, &mut rng).is_some() {
+            let candidate = te.eval_pending();
+            if candidate < current {
+                te.commit();
+                current = candidate;
+                committed += 1;
+            } else {
+                te.rollback();
+            }
+        }
+    }
+    let events = alloc_events() - before;
+    // The loop must have genuinely exercised both resolutions.
+    assert!(committed > 0, "no move was ever committed");
+    if !cfg!(debug_assertions) {
+        assert_eq!(
+            events, 0,
+            "tree-evaluator steady-state move loop performed {events} heap allocations"
+        );
+    }
 }
 
 /// The full budgeted driver path (`Evaluator::cost_move` with best-order

@@ -377,6 +377,19 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Charge one budget unit and count one plan evaluation performed
+    /// *outside* the evaluator's own walkers. The bushy tree search costs
+    /// candidates through [`crate::TreeEvaluator`] (its states are trees,
+    /// not [`JoinOrder`]s, so best-order tracking does not apply) but must
+    /// still pay the paper's one-unit-per-candidate price and appear in
+    /// [`Evaluator::n_evals`] so budgets and reports stay comparable
+    /// across search spaces.
+    #[inline]
+    pub fn charge_eval(&mut self) {
+        self.charge(1);
+        self.n_evals += 1;
+    }
+
     /// Whether the method should stop: the budget is exhausted, the best
     /// solution (local, or global under cooperative search) has reached
     /// the early-stopping threshold, or the wall-clock deadline has

@@ -38,6 +38,7 @@ mod model;
 mod multi;
 pub mod propagate;
 mod shared;
+mod tree_eval;
 
 pub use deadline::Deadline;
 pub use disk::DiskCostModel;
@@ -48,6 +49,7 @@ pub use memory::MemoryCostModel;
 pub use model::{CostModel, JoinCtx};
 pub use multi::{JoinMethod, MultiMethodCostModel};
 pub use shared::SharedBest;
+pub use tree_eval::TreeEvaluator;
 
 /// Intermediate cardinalities are clamped to this value so that products of
 /// many large relations cannot overflow `f64` and so that cost comparisons

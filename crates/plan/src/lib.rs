@@ -17,17 +17,23 @@
 //!   annealing, following Swami & Gupta (SIGMOD 1988): adjacent swaps,
 //!   arbitrary swaps, 3-cycles, and single-relation reinsertions, all
 //!   filtered for validity,
-//! * a random valid state generator ([`random`]).
+//! * a random valid state generator ([`random`]),
+//! * the **bushy** search space ([`btree`]) that lifts the paper's
+//!   linear-tree restriction: arena-backed mutable trees ([`TreePlan`])
+//!   with their own move catalog ([`TreeMove`]), validity-checked through
+//!   the same compiled bitset masks.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod btree;
 pub mod moves;
 mod order;
 pub mod random;
 mod tree;
 pub mod validity;
 
+pub use btree::{TreeMove, TreeMoveSet, TreeNode, TreePlan, NO_NODE};
 pub use moves::{Move, MoveGenerator, MoveKind, MoveSet};
 pub use order::{JoinOrder, Plan};
 pub use random::random_valid_order;

@@ -61,13 +61,35 @@ impl JoinTree {
 
     /// Multi-line rendering with relation names from `query`, in the
     /// conventional operator-tree layout (root first, children indented).
+    ///
+    /// Runs in `O(N + E)`: the set of relations placed below each join is
+    /// threaded down the recursion as a mutable membership slice instead of
+    /// being re-derived per level via [`JoinTree::order`] (which made
+    /// `explain` quadratic in the number of relations).
     pub fn explain(&self, query: &Query) -> String {
         let mut out = String::new();
-        self.explain_into(query, 0, &mut out);
+        let mut placed = vec![false; query.n_relations()];
+        self.mark_leaves(&mut placed);
+        self.explain_into(query, 0, &mut placed, &mut out);
         out
     }
 
-    fn explain_into(&self, query: &Query, depth: usize, out: &mut String) {
+    /// Mark every base relation of this subtree in `placed`.
+    fn mark_leaves(&self, placed: &mut [bool]) {
+        match self {
+            JoinTree::Leaf(r) => placed[r.index()] = true,
+            JoinTree::Join { outer, inner } => {
+                outer.mark_leaves(placed);
+                placed[inner.index()] = true;
+            }
+        }
+    }
+
+    /// On entry, `placed` holds exactly the relations of this subtree; each
+    /// join removes its inner relation before testing whether the remaining
+    /// (outer) set joins with it, so the joined/cross-product decision
+    /// costs `O(degree(inner))` instead of a fresh `order()` walk.
+    fn explain_into(&self, query: &Query, depth: usize, placed: &mut [bool], out: &mut String) {
         use fmt::Write as _;
         let pad = "  ".repeat(depth);
         match self {
@@ -81,13 +103,17 @@ impl JoinTree {
                 );
             }
             JoinTree::Join { outer, inner } => {
-                let joined = outer
-                    .order()
-                    .iter()
-                    .any(|&o| query.graph().joined(o, *inner));
+                placed[inner.index()] = false;
+                let graph = query.graph();
+                let joined = graph.incident(*inner).iter().any(|&eid| {
+                    graph
+                        .edge(eid)
+                        .other(*inner)
+                        .is_some_and(|o| placed[o.index()])
+                });
                 let op = if joined { "HashJoin" } else { "CrossProduct" };
                 let _ = writeln!(out, "{pad}{op} (inner={})", query.relation(*inner).name);
-                outer.explain_into(query, depth + 1, out);
+                outer.explain_into(query, depth + 1, placed, out);
                 let _ = writeln!(
                     out,
                     "{pad}  Scan {} (card={})",
@@ -130,6 +156,28 @@ mod tests {
         let t = JoinTree::left_deep(&ids(&[4]));
         assert_eq!(t, JoinTree::Leaf(RelId(4)));
         assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn explain_output_is_pinned_with_cross_product() {
+        // Regression for the placed-set threading rewrite of
+        // `explain_into`: the output must be byte-identical to what the
+        // old per-level `order()` re-derivation produced, including the
+        // cross-product classification for the unjoined relation.
+        let q = QueryBuilder::new()
+            .relation("a", 10)
+            .relation("b", 20)
+            .relation("c", 30)
+            .join("a", "b", 0.1)
+            .build()
+            .unwrap();
+        let t = JoinTree::left_deep(&ids(&[0, 1, 2]));
+        let expected = "CrossProduct (inner=c)\n\
+                        \x20 HashJoin (inner=b)\n\
+                        \x20   Scan a (card=10)\n\
+                        \x20   Scan b (card=20)\n\
+                        \x20 Scan c (card=30)\n";
+        assert_eq!(t.explain(&q), expected);
     }
 
     #[test]

@@ -190,6 +190,61 @@ pub fn generate_job_query(spec: &JobSpec, n_joins: usize, seed: u64) -> Query {
     Query::new(relations, edges).expect("generated JOB query must validate")
 }
 
+/// Generate a **hub-and-chains** query: a large hub relation with two
+/// heavy chains hanging off it, each chain starting huge and shrinking
+/// fast toward its tail (`n_joins + 1` relations, deterministic in
+/// `seed`). Relation 0 is the hub.
+///
+/// This is the canonical shape on which bushy join trees strictly beat
+/// every outer-linear plan: a linear plan must drag a hub-sized (or
+/// chain-head-sized) intermediate through at least one whole chain,
+/// while a bushy plan reduces each chain independently to a few tuples
+/// and joins the small results. The bushy benchmarks use it as the
+/// must-win workload when validating the paper's linear-tree assumption.
+pub fn generate_hub_chains_query(n_joins: usize, seed: u64) -> Query {
+    assert!(n_joins >= 2, "a hub needs at least two chains");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_rel = n_joins + 1;
+
+    let mut relations = Vec::with_capacity(n_rel);
+    relations.push(Relation::new("HUB", 100_000 + rng.gen_range(0..50_000u64)));
+    let mut edges = Vec::with_capacity(n_joins);
+
+    // Two chains; the first takes the extra hop when n_joins is odd.
+    let len_a = n_joins.div_ceil(2);
+    let mut idx = 1usize;
+    for (c, len) in [len_a, n_joins - len_a].into_iter().enumerate() {
+        let mut prev = 0usize; // chain starts at the hub
+        let mut card = 60_000.0 + rng.gen_range(0..40_000u64) as f64;
+        for hop in 0..len {
+            relations.push(Relation::new(
+                format!("C{c}_{hop}"),
+                card.round().max(1.0) as u64,
+            ));
+            // Hub edges are needle-selective (key lookups into a huge
+            // head); chain edges are ordinary foreign-key hops.
+            let sel = if hop == 0 {
+                0.00002 * (1.0 + rng.gen_range(0.0..0.5f64))
+            } else {
+                0.001 * (1.0 + rng.gen_range(0.0..0.5f64))
+            };
+            // Distinct counts stay consistent with the selectivity where
+            // the cardinalities allow, capped so validation holds on the
+            // tiny tail relations.
+            let d = 1.0 / sel;
+            let d_prev = d.min(relations[prev].cardinality());
+            let d_here = d.min(relations[idx].cardinality());
+            edges.push(JoinEdge::new(prev, idx, sel, d_prev, d_here));
+            prev = idx;
+            idx += 1;
+            // Each hop shrinks the chain steeply toward a tiny tail.
+            card = (card / rng.gen_range(20.0..40.0f64)).max(3.0);
+        }
+    }
+
+    Query::new(relations, edges).expect("generated hub-chains query must validate")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +329,30 @@ mod tests {
                 assert!(is_valid(q.graph(), &order), "{shape:?} seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn hub_chains_is_connected_deterministic_and_two_armed() {
+        for n_joins in [2, 5, 8, 13] {
+            let q = generate_hub_chains_query(n_joins, 9);
+            assert_eq!(q.n_relations(), n_joins + 1);
+            assert!(q.graph().is_connected());
+            assert_eq!(q.graph().degree(RelId(0)), if n_joins >= 2 { 2 } else { 1 });
+            assert_eq!(q, generate_hub_chains_query(n_joins, 9));
+            assert_ne!(q, generate_hub_chains_query(n_joins, 10));
+            let order: Vec<RelId> = q.rel_ids().collect();
+            assert!(is_valid(q.graph(), &order));
+        }
+    }
+
+    #[test]
+    fn hub_chains_heads_are_heavy_and_tails_tiny() {
+        let q = generate_hub_chains_query(8, 4);
+        let hub = q.relation(RelId(0)).base_cardinality;
+        assert!(hub >= 100_000);
+        // Head of chain 0 is relation 1; its tail (relation 4) is tiny.
+        assert!(q.relation(RelId(1)).base_cardinality >= 60_000);
+        assert!(q.relation(RelId(4)).base_cardinality < 100);
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod perturb;
 mod spec;
 
 pub use generator::generate_query;
-pub use job::{generate_job_query, JobShape, JobSpec};
+pub use job::{generate_hub_chains_query, generate_job_query, JobShape, JobSpec};
 pub use perturb::{PerturbMode, Perturbation};
 pub use spec::{Benchmark, CardinalityDist, DistinctDist, GraphShape, QuerySpec, SELECTIVITY_LIST};

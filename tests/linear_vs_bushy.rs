@@ -12,7 +12,7 @@ fn bushy_optimum_lower_bounds_linear_methods() {
         let query = generate_query(&Benchmark::Default.spec(), 10, 0xb5 + seed);
         let comp: Vec<RelId> = query.rel_ids().collect();
         let (_, linear) = optimal_order_dp(&query, &comp, &model).unwrap();
-        let (tree, bushy) = optimal_bushy_dp(&query, &comp, &model).unwrap();
+        let (tree, bushy) = optimal_bushy_dp(&query, &comp, &model).unwrap().unwrap();
         assert!(
             bushy <= linear * (1.0 + 1e-12),
             "seed {seed}: bushy {bushy} > linear {linear}"
@@ -41,7 +41,7 @@ fn linear_assumption_holds_on_default_benchmark() {
         let query = generate_query(&Benchmark::Default.spec(), 10, 0x11ea + seed);
         let comp: Vec<RelId> = query.rel_ids().collect();
         let (_, linear) = optimal_order_dp(&query, &comp, &model).unwrap();
-        let (_, bushy) = optimal_bushy_dp(&query, &comp, &model).unwrap();
+        let (_, bushy) = optimal_bushy_dp(&query, &comp, &model).unwrap().unwrap();
         worst = worst.max(linear / bushy);
     }
     assert!(
