@@ -20,14 +20,25 @@
 //!    relation's color with the sorted multiset of `(edge signature,
 //!    neighbor color)` pairs — until the partition stabilizes;
 //! 3. each join-graph component is encoded by a breadth-first traversal
-//!    whose frontier is expanded in color order, rooted at each
-//!    minimal-color relation in turn; the lexicographically smallest
-//!    encoding wins (this also resolves root ties);
+//!    whose frontier is expanded in (color, edge-signature,
+//!    placed-adjacency) order, rooted at each minimal-color relation in
+//!    turn; the lexicographically smallest encoding wins (this also
+//!    resolves root ties);
 //! 4. component encodings are sorted and concatenated.
 //!
-//! Relations that remain color-tied after refinement are structurally
-//! interchangeable for every statistic the fingerprint can see, so either
-//! BFS order yields the same encoding.
+//! WL colors alone cannot break every tie (color-tied relations need not
+//! be automorphic — the classic Weisfeiler–Lehman limitation on regular
+//! substructures), and input relation ids must never decide one, or the
+//! encoding would vary under relabeling. The frontier therefore re-keys
+//! its remaining candidates after every placement by their *placed-
+//! adjacency signature* — a hash of each candidate's edges into the
+//! already-built canonical prefix, by canonical index. Relations still
+//! tied on all three keys are indistinguishable by any statistic or
+//! placement the fingerprint can observe, so either order yields the
+//! same encoding; among such interchangeable relations the input id is
+//! used as a final deterministic fallback (it cannot affect the
+//! encoding at that point, only which of the equivalent canonical
+//! mappings is produced).
 //!
 //! The full canonical encoding is retained as the cache key — a 64-bit
 //! digest is kept alongside for shard routing, but equality always
@@ -311,8 +322,32 @@ pub fn fingerprint(query: &Query, cfg: &FingerprintConfig) -> Fingerprinted {
     }
 }
 
-/// BFS over `comp` from `root`, expanding the frontier in `(color)` order,
-/// producing the component's token encoding and the visit order.
+/// Signature of `o`'s attachment to the already-placed canonical prefix:
+/// the sorted multiset of `(canonical index, edge signature)` over edges
+/// from `o` to placed relations, folded into one hash. Canonical indices
+/// are label-independent by construction, so this key may break WL-color
+/// ties without leaking input labels into the encoding.
+fn placed_sig(query: &Query, o: RelId, canon: &[u32], bpd: u32) -> u64 {
+    let g = query.graph();
+    let mut toks: Vec<(u32, u64)> = Vec::new();
+    for &e in g.incident(o) {
+        if let Some(p) = g.edge(e).other(o) {
+            if canon[p.index()] != u32::MAX {
+                toks.push((canon[p.index()], edge_sig(query, o, e, bpd)));
+            }
+        }
+    }
+    toks.sort_unstable();
+    let mut h = 0x0091_aced_u64;
+    for (c, s) in toks {
+        h = fold(fold(h, c as u64), s);
+    }
+    h
+}
+
+/// BFS over `comp` from `root`, expanding the frontier in (color,
+/// edge-signature, placed-adjacency) order, producing the component's
+/// token encoding and the visit order.
 fn canonical_bfs(
     query: &Query,
     root: RelId,
@@ -331,10 +366,8 @@ fn canonical_bfs(
     while head < order.len() {
         let v = order[head];
         head += 1;
-        // Unvisited neighbors of v, expanded in (color, edge signature)
-        // order; parallel edges fold into one order-independent signature.
-        // Relations tied on both keys are interchangeable for every
-        // statistic the fingerprint can observe.
+        // Unvisited neighbors of v; parallel edges fold into one
+        // order-independent signature per neighbor.
         let mut raw: Vec<(RelId, u64)> = Vec::new();
         for &e in g.incident(v) {
             if let Some(o) = g.edge(e).other(v) {
@@ -344,19 +377,48 @@ fn canonical_bfs(
             }
         }
         raw.sort_unstable();
-        let mut next: Vec<(u64, u64, RelId)> = Vec::new();
+        let mut cands: Vec<(RelId, u64)> = Vec::new();
         for (o, sig) in raw {
-            match next.iter_mut().find(|(_, _, r)| *r == o) {
-                Some((_, combined, _)) => *combined = fold(*combined, sig),
-                None => next.push((colors[o.index()], sig, o)),
+            match cands.iter_mut().find(|(r, _)| *r == o) {
+                Some((_, combined)) => *combined = fold(*combined, sig),
+                None => cands.push((o, sig)),
             }
         }
-        next.sort_unstable();
-        for (_, _, o) in next {
-            if canon[o.index()] == u32::MAX {
-                canon[o.index()] = order.len() as u32;
-                order.push(o);
+        // Sequential selection: each pick re-keys the remaining
+        // candidates by (color, folded edge signature, placed-adjacency
+        // signature). The third key hashes a candidate's edges into the
+        // already-built canonical prefix — *positions*, not input labels
+        // — so WL-color ties are broken by how a relation attaches to
+        // what has been placed so far, and each placement sharpens the
+        // keys of the rest. Input labels only decide as the last resort,
+        // when candidates are indistinguishable by every statistic and
+        // placement the fingerprint can observe — there either pick
+        // yields the same encoding, and the `RelId` fallback keeps the
+        // canonical *mapping* deterministic for such interchangeable
+        // relations.
+        while !cands.is_empty() {
+            let mut best = 0usize;
+            let mut best_key = (
+                colors[cands[0].0.index()],
+                cands[0].1,
+                placed_sig(query, cands[0].0, &canon, bpd),
+                cands[0].0,
+            );
+            for (i, &(o, combined)) in cands.iter().enumerate().skip(1) {
+                let key = (
+                    colors[o.index()],
+                    combined,
+                    placed_sig(query, o, &canon, bpd),
+                    o,
+                );
+                if key < best_key {
+                    best = i;
+                    best_key = key;
+                }
             }
+            let (o, _) = cands.swap_remove(best);
+            canon[o.index()] = order.len() as u32;
+            order.push(o);
         }
     }
 

@@ -141,6 +141,88 @@ fn relabeling_generated_benchmark_queries_is_invariant() {
     }
 }
 
+/// Uniform-statistics catalogs of `n` relations with heavy structural
+/// symmetry: every relation shares one cardinality and every edge one
+/// selectivity, so WL colors tie across whole orbits and the canonical
+/// BFS must break every tie without consulting input labels.
+fn symmetric_query(kind: usize, n: usize) -> Query {
+    let relations: Vec<Relation> = (0..n)
+        .map(|i| Relation::new(format!("r{i}"), 1000))
+        .collect();
+    let edge = |a: usize, b: usize| JoinEdge::new(a as u32, b as u32, 0.01, 10.0, 10.0);
+    let mut edges = Vec::new();
+    match kind {
+        // A star: n-1 interchangeable leaves.
+        0 => {
+            for i in 1..n {
+                edges.push(edge(0, i));
+            }
+        }
+        // A circulant C_n(1, 2): 4-regular, vertex-transitive, every
+        // color ties with every other.
+        1 => {
+            for i in 0..n {
+                edges.push(edge(i, (i + 1) % n));
+                edges.push(edge(i, (i + 2) % n));
+            }
+        }
+        // A 10 x (n/10) grid: corner/border/interior orbits, plus
+        // reflection symmetries within each.
+        _ => {
+            let w = 10usize;
+            let h = n / w;
+            for r in 0..h {
+                for c in 0..w {
+                    let v = r * w + c;
+                    if c + 1 < w {
+                        edges.push(edge(v, v + 1));
+                    }
+                    if r + 1 < h {
+                        edges.push(edge(v, v + w));
+                    }
+                }
+            }
+        }
+    }
+    Query::new(relations, edges).unwrap()
+}
+
+#[test]
+fn relabeling_is_invariant_at_n100_under_heavy_symmetry() {
+    // The large-N stress of the relabeling property: at N = 100 with
+    // uniform statistics, WL refinement leaves large color-tied orbits,
+    // and the BFS placed-adjacency tie-break is all that stands between
+    // the encoding and the input labels. Several random permutations per
+    // structure.
+    for kind in 0..3usize {
+        let q = symmetric_query(kind, 100);
+        let cfg = FingerprintConfig::default();
+        let base = fingerprint(&q, &cfg);
+        for round in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(0xf19e_0100 ^ (kind as u64) << 8 ^ round);
+            let perm = shuffled_identity(q.n_relations(), &mut rng);
+            let p = permuted(&q, &perm);
+            let fp = fingerprint(&p, &cfg);
+            assert_eq!(
+                base.fingerprint(),
+                fp.fingerprint(),
+                "kind {kind} round {round}: permutation changed the N=100 fingerprint"
+            );
+            // The canonical mapping must remain a permutation at this
+            // size (every relation reachable, none duplicated).
+            let mut seen = vec![false; q.n_relations()];
+            for c in 0..q.n_relations() as u32 {
+                let r = fp.rehydrate_order(&[c]).unwrap()[0];
+                assert!(
+                    !seen[r.index()],
+                    "kind {kind}: canonical index {c} duplicated"
+                );
+                seen[r.index()] = true;
+            }
+        }
+    }
+}
+
 #[test]
 fn perturbing_cardinality_beyond_one_bucket_always_changes() {
     for case in 0..CASES {

@@ -35,9 +35,27 @@
 //! recomputed). The differential property suites in `ljqo-plan` and
 //! `ljqo-cost` assert this over random catalogs.
 
+use crate::bitset::{self, BlockMask, BLOCK_WORDS};
 use crate::graph::{EdgeId, JoinGraph};
 use crate::query::Query;
 use crate::relation::RelId;
+
+/// One CSR slot's hot statistics, packed into a single record so the
+/// selectivity folds of the size walker touch one contiguous stream per
+/// relation instead of four parallel arrays (the "blocked CSR" layout:
+/// at N = 1000 the per-relation records span a handful of cachelines and
+/// stay resident across the walk).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotRec {
+    /// Selectivity of the slot's edge.
+    pub sel: f64,
+    /// Distinct count on the owning relation's side of the slot's edge.
+    pub inner_distinct: f64,
+    /// The *other* endpoint of the slot's edge.
+    pub other: RelId,
+    /// Side index (0 = `a`, 1 = `b`) of the *other* endpoint.
+    pub other_side: u8,
+}
 
 /// An immutable, flattened snapshot of a [`Query`] for the optimizer's
 /// hot loops: CSR adjacency, structure-of-arrays statistics, and
@@ -75,20 +93,18 @@ pub struct CompiledQuery {
     n_relations: usize,
     n_edges: usize,
     words_per_rel: usize,
+    /// Storage stride of each neighbor-mask row: `words_per_rel` rounded
+    /// up per [`bitset::mask_stride`], with the padding words zero.
+    mask_stride: usize,
 
     /// CSR offsets: slots of relation `r` are
     /// `slot_offsets[r] .. slot_offsets[r + 1]`.
     slot_offsets: Vec<u32>,
     /// Edge id of each slot, in [`JoinGraph::incident`] order.
     slot_edge: Vec<EdgeId>,
-    /// The *other* endpoint of each slot's edge.
-    slot_other: Vec<RelId>,
-    /// Selectivity of each slot's edge.
-    slot_sel: Vec<f64>,
-    /// Distinct count on the owning relation's side of each slot's edge.
-    slot_inner_distinct: Vec<f64>,
-    /// Side index (0 = `a`, 1 = `b`) of the *other* endpoint.
-    slot_other_side: Vec<u8>,
+    /// Packed hot statistics of each slot (other endpoint, selectivity,
+    /// inner distinct, other side), in [`JoinGraph::incident`] order.
+    slot_recs: Vec<SlotRec>,
 
     /// Per-edge SoA: endpoint `a`.
     edge_a: Vec<RelId>,
@@ -103,7 +119,9 @@ pub struct CompiledQuery {
     cardinality: Vec<f64>,
     /// Distinct-neighbor count per relation (`deg(k)` in the paper).
     degree: Vec<u32>,
-    /// Flattened neighbor bitsets: `words_per_rel` words per relation.
+    /// Flattened neighbor bitsets: `mask_stride` words per relation, the
+    /// first `words_per_rel` logical and the rest zero padding (so the
+    /// blocked kernels can scan whole rows without a remainder loop).
     neighbor_words: Vec<u64>,
 }
 
@@ -127,35 +145,35 @@ impl CompiledQuery {
         );
         let n_edges = graph.edges().len();
         let words_per_rel = n.div_ceil(64).max(1);
+        let mask_stride = bitset::mask_stride(words_per_rel);
 
         let n_slots = 2 * n_edges;
         let mut slot_offsets = Vec::with_capacity(n + 1);
         let mut slot_edge = Vec::with_capacity(n_slots);
-        let mut slot_other = Vec::with_capacity(n_slots);
-        let mut slot_sel = Vec::with_capacity(n_slots);
-        let mut slot_inner_distinct = Vec::with_capacity(n_slots);
-        let mut slot_other_side = Vec::with_capacity(n_slots);
-        let mut neighbor_words = vec![0u64; n * words_per_rel];
+        let mut slot_recs = Vec::with_capacity(n_slots);
+        let mut neighbor_words = vec![0u64; n * mask_stride];
         let mut degree = Vec::with_capacity(n);
 
         for r in 0..n {
             let rel = RelId(r as u32);
             slot_offsets.push(slot_edge.len() as u32);
-            let base = r * words_per_rel;
+            let base = r * mask_stride;
             for &eid in graph.incident(rel) {
                 let e = graph.edge(eid);
                 // Self-loops are rejected at graph construction, so the
                 // other endpoint always exists.
                 let other = if e.a == rel { e.b } else { e.a };
                 slot_edge.push(eid);
-                slot_other.push(other);
-                slot_sel.push(e.selectivity);
-                slot_inner_distinct.push(if e.a == rel {
-                    e.distinct_a
-                } else {
-                    e.distinct_b
+                slot_recs.push(SlotRec {
+                    sel: e.selectivity,
+                    inner_distinct: if e.a == rel {
+                        e.distinct_a
+                    } else {
+                        e.distinct_b
+                    },
+                    other,
+                    other_side: u8::from(e.b == other),
                 });
-                slot_other_side.push(u8::from(e.b == other));
                 neighbor_words[base + other.index() / 64] |= 1u64 << (other.index() % 64);
             }
             degree.push(
@@ -182,12 +200,10 @@ impl CompiledQuery {
             n_relations: n,
             n_edges,
             words_per_rel,
+            mask_stride,
             slot_offsets,
             slot_edge,
-            slot_other,
-            slot_sel,
-            slot_inner_distinct,
-            slot_other_side,
+            slot_recs,
             edge_a,
             edge_b,
             edge_sel,
@@ -218,6 +234,15 @@ impl CompiledQuery {
         self.words_per_rel
     }
 
+    /// Storage stride, in words, of the blocked neighbor-mask rows
+    /// ([`crate::bitset::mask_stride`] of [`CompiledQuery::words_per_rel`]).
+    /// Placed-set masks handed to [`CompiledQuery::connects_blocks`] must
+    /// have exactly this length; the words past `words_per_rel` are zero.
+    #[inline]
+    pub fn mask_stride(&self) -> usize {
+        self.mask_stride
+    }
+
     /// The CSR slot range of `rel`: one slot per incident edge, in
     /// exactly the order of [`JoinGraph::incident`].
     #[inline]
@@ -236,19 +261,19 @@ impl CompiledQuery {
     /// owning relation).
     #[inline]
     pub fn slot_other(&self, s: usize) -> RelId {
-        self.slot_other[s]
+        self.slot_recs[s].other
     }
 
     /// Selectivity of slot `s`'s edge.
     #[inline]
     pub fn slot_selectivity(&self, s: usize) -> f64 {
-        self.slot_sel[s]
+        self.slot_recs[s].sel
     }
 
     /// Distinct count on the owning relation's side of slot `s`'s edge.
     #[inline]
     pub fn slot_inner_distinct(&self, s: usize) -> f64 {
-        self.slot_inner_distinct[s]
+        self.slot_recs[s].inner_distinct
     }
 
     /// Side index (0 = `a`, 1 = `b`) of the *other* endpoint of slot
@@ -256,7 +281,15 @@ impl CompiledQuery {
     /// the outer side when walking from the slot's owner.
     #[inline]
     pub fn slot_other_side(&self, s: usize) -> usize {
-        usize::from(self.slot_other_side[s])
+        usize::from(self.slot_recs[s].other_side)
+    }
+
+    /// The packed hot records of `rel`'s CSR slots, in exactly the order
+    /// of [`JoinGraph::incident`]: one contiguous stream the selectivity
+    /// folds walk instead of four parallel arrays.
+    #[inline]
+    pub fn slot_records(&self, rel: RelId) -> &[SlotRec] {
+        &self.slot_recs[self.slot_range(rel)]
     }
 
     /// Endpoint `a` of edge `eid`.
@@ -302,8 +335,33 @@ impl CompiledQuery {
     /// relation `i`.
     #[inline]
     pub fn neighbor_mask(&self, rel: RelId) -> &[u64] {
-        let base = rel.index() * self.words_per_rel;
+        let base = rel.index() * self.mask_stride;
         &self.neighbor_words[base..base + self.words_per_rel]
+    }
+
+    /// The blocked neighbor row of `rel`: [`CompiledQuery::mask_stride`]
+    /// words, the first [`CompiledQuery::words_per_rel`] logical and the
+    /// rest zero. Kernel-tier callers scan this row with
+    /// [`crate::bitset::intersects`]; the zero padding makes the result
+    /// identical to a scan of the logical mask.
+    #[inline]
+    pub fn neighbor_blocks(&self, rel: RelId) -> &[u64] {
+        let base = rel.index() * self.mask_stride;
+        &self.neighbor_words[base..base + self.mask_stride]
+    }
+
+    /// The neighbor mask of `rel` as a one-block [`BlockMask`] — only
+    /// callable when [`CompiledQuery::mask_stride`] is at most
+    /// [`BLOCK_WORDS`] (≤ [`BlockMask::CAPACITY`] relations), the regime
+    /// plan-tree nodes operate in.
+    #[inline]
+    pub fn neighbor_block_mask(&self, rel: RelId) -> BlockMask {
+        debug_assert!(
+            self.mask_stride <= BLOCK_WORDS,
+            "neighbor_block_mask requires <= {} relations",
+            BlockMask::CAPACITY
+        );
+        BlockMask::from_words(self.neighbor_blocks(rel))
     }
 
     /// Whether `rel` joins any relation marked in `placed` (a
@@ -319,6 +377,16 @@ impl CompiledQuery {
             hit |= m & p;
         }
         hit != 0
+    }
+
+    /// Blocked form of [`CompiledQuery::connects`]: `placed` is a
+    /// [`CompiledQuery::mask_stride`]-word bitset (padding words zero)
+    /// and the test runs through the word-count-specialized
+    /// [`crate::bitset::intersects`] kernel.
+    #[inline]
+    pub fn connects_blocks(&self, rel: RelId, placed: &[u64]) -> bool {
+        debug_assert_eq!(placed.len(), self.mask_stride);
+        bitset::intersects(self.neighbor_blocks(rel), placed)
     }
 
     /// Set `rel`'s bit in a placed-set mask.
@@ -425,6 +493,66 @@ mod tests {
         assert!(cq.connects(RelId(0), &placed));
         assert!(cq.connects(RelId(1), &placed));
         assert!(!cq.connects(RelId(3), &placed), "d has no neighbors");
+    }
+
+    #[test]
+    fn blocked_rows_are_padded_with_zeros_and_agree_with_logical() {
+        for n in [3usize, 63, 64, 65, 127, 129, 256, 257, 300] {
+            let edges: Vec<JoinEdge> = (1..n)
+                .map(|i| JoinEdge::from_distincts(0u32, i as u32, 10.0, 10.0))
+                .collect();
+            let g = JoinGraph::new(n, edges);
+            let cq = CompiledQuery::from_graph(&g, vec![100.0; n]);
+            assert_eq!(
+                cq.mask_stride(),
+                crate::bitset::stride_for_relations(n),
+                "n = {n}"
+            );
+            let mut placed_logical = vec![0u64; cq.words_per_rel()];
+            let mut placed_blocks = vec![0u64; cq.mask_stride()];
+            for probe in [0usize, 1, n / 2, n - 1] {
+                cq.set_placed(&mut placed_logical, RelId(probe as u32));
+                cq.set_placed(&mut placed_blocks, RelId(probe as u32));
+            }
+            for r in 0..n {
+                let rel = RelId(r as u32);
+                let row = cq.neighbor_blocks(rel);
+                assert_eq!(row[..cq.words_per_rel()], *cq.neighbor_mask(rel));
+                assert!(
+                    row[cq.words_per_rel()..].iter().all(|&w| w == 0),
+                    "padding words must stay zero (n = {n}, rel {r})"
+                );
+                assert_eq!(
+                    cq.connects(rel, &placed_logical),
+                    cq.connects_blocks(rel, &placed_blocks),
+                    "n = {n}, rel {r}"
+                );
+            }
+            if n <= 256 {
+                let bm = cq.neighbor_block_mask(RelId(0));
+                for b in 0..n {
+                    assert_eq!(bm.test(b), g.joined(RelId(0), RelId(b as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_records_mirror_scalar_accessors() {
+        let q = triangle_plus();
+        let cq = CompiledQuery::new(&q);
+        for r in q.rel_ids() {
+            let recs = cq.slot_records(r);
+            for (rec, s) in recs.iter().zip(cq.slot_range(r)) {
+                assert_eq!(rec.other, cq.slot_other(s));
+                assert_eq!(rec.sel.to_bits(), cq.slot_selectivity(s).to_bits());
+                assert_eq!(
+                    rec.inner_distinct.to_bits(),
+                    cq.slot_inner_distinct(s).to_bits()
+                );
+                assert_eq!(usize::from(rec.other_side), cq.slot_other_side(s));
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bitset;
 mod builder;
 pub mod compiled;
 mod graph;
@@ -32,8 +33,9 @@ pub mod quant;
 mod query;
 mod relation;
 
+pub use bitset::BlockMask;
 pub use builder::QueryBuilder;
-pub use compiled::CompiledQuery;
+pub use compiled::{CompiledQuery, SlotRec};
 pub use graph::{EdgeId, JoinGraph, SpanningTree};
 pub use predicate::{JoinEdge, Selection};
 pub use query::{CatalogError, Query};

@@ -15,6 +15,13 @@
 //! `1 / buckets_per_decade` *and* they do not straddle a bucket boundary;
 //! values whose logs differ by more than one full bucket width are
 //! guaranteed to land in different buckets.
+//!
+//! Quantization is per-*value* and carries no per-query state: no
+//! bitsets, no `N`-sized buffers, nothing that dispatches on the word
+//! count of a relation mask (audited as part of the large-N regime work
+//! — the fingerprint's canonical BFS was the only cache-layer component
+//! with a size-sensitive code path). The buckets computed here are
+//! therefore identical at N = 4 and N = 1000.
 
 use crate::predicate::JoinEdge;
 use crate::relation::{RelId, Relation};

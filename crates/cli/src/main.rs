@@ -4,6 +4,7 @@
 //! ljqo-opt [QUERY.json] [--method IAI] [--model memory|disk|multi]
 //!          [--space linear|bushy]
 //!          [--tau 9] [--kappa 5] [--seed 0] [--deadline-ms N]
+//!          [--budget-schedule quadratic|capped:T|nlogn:T]
 //!          [--workers N] [--cooperate] [--portfolio]
 //!          [--cache-entries N] [--cache-shards N] [--fp-buckets N]
 //!          [--workload-shape star|snowflake|cyclic] [--workload-joins N]
@@ -26,6 +27,16 @@
 //! Bushy search is a plain single-threaded solve: it rejects the plan
 //! cache, parallel/portfolio/cooperate, `--qerror`, and `--all-methods`
 //! flags (usage error), which are all wired to the linear plan type.
+//!
+//! Large-N regime: `--budget-schedule` decides how the work budget grows
+//! with query size — `quadratic` is the paper's `τ·N²·κ` rule (default),
+//! `capped:T` freezes the budget at `T` joins, `nlogn:T` switches to
+//! `N·log N` growth past `T` (see `ljqo_cost::BudgetSchedule`). The
+//! always-present `"largen"` JSON block reports the schedule, the
+//! allotted budget, and the bitset-kernel tier the query size selects;
+//! the always-present `"bound"` block reports the LP-style cost lower
+//! bounds (`ljqo::bound`) and the plan's `cost / lower_bound` quality
+//! ratio (`0` when no positive bound exists for the model).
 //!
 //! Workload generation: instead of a query file, `--workload-shape`
 //! generates a JOB-shaped query (star, snowflake, or cyclic around a
@@ -100,6 +111,7 @@ struct Options {
     space: String,
     tau: f64,
     kappa: f64,
+    schedule: BudgetSchedule,
     seed: u64,
     deadline_ms: Option<u64>,
     workers: usize,
@@ -122,6 +134,7 @@ fn usage() -> ! {
          \x20                                   |BUSHYII|BUSHYSA]\n\
          \x20                         [--model memory|disk|multi] [--space linear|bushy]\n\
          \x20                         [--tau F] [--kappa F]\n\
+         \x20                         [--budget-schedule quadratic|capped:T|nlogn:T]\n\
          \x20                         [--seed U64] [--deadline-ms U64] [--workers N]\n\
          \x20                         [--cooperate] [--portfolio] [--cache-entries N]\n\
          \x20                         [--cache-shards N] [--fp-buckets N]\n\
@@ -142,6 +155,7 @@ fn parse_args() -> Options {
         space: "linear".into(),
         tau: 9.0,
         kappa: 5.0,
+        schedule: BudgetSchedule::Quadratic,
         seed: 0,
         deadline_ms: None,
         workers: 1,
@@ -184,6 +198,13 @@ fn parse_args() -> Options {
             }
             "--tau" => opts.tau = value("--tau").parse().unwrap_or_else(|_| usage()),
             "--kappa" => opts.kappa = value("--kappa").parse().unwrap_or_else(|_| usage()),
+            "--budget-schedule" => {
+                let v = value("--budget-schedule");
+                opts.schedule = v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    usage()
+                });
+            }
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => {
                 opts.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()));
@@ -339,6 +360,40 @@ fn robustness_json(sample: Option<&RegretSample>, opts: &Options) -> ljqo_json::
     })
 }
 
+/// The always-present `"largen"` object of `--json` output: the budget
+/// schedule actually applied and the bitset-kernel tier the query size
+/// selects (`mask_words` of 1 = single-register fast path, 4 = one
+/// stack block, larger = blocked general path).
+fn largen_json(query: &Query, config: &OptimizerConfig) -> ljqo_json::Value {
+    let n = query.n_relations();
+    ljqo_json::json!({
+        "schedule": config.schedule.to_string(),
+        "budget_allotted": config.budget_units(query.n_joins().max(1)),
+        "n_relations": n as u64,
+        "mask_words": ljqo::catalog::bitset::stride_for_relations(n) as u64,
+    })
+}
+
+/// The always-present `"bound"` object of `--json` output: the LP-style
+/// cost lower bounds and the emitted plan's quality ratio against the
+/// bound for its search space (`linear` or `tree`). A ratio of `0` means
+/// no positive bound exists (degenerate query, or a model without a
+/// monotone cost surface).
+fn bound_json(
+    query: &Query,
+    model: &dyn CostModel,
+    cost: f64,
+    linear_space: bool,
+) -> ljqo_json::Value {
+    let b = bound_report(query, model);
+    let denom = if linear_space { b.linear } else { b.tree };
+    ljqo_json::json!({
+        "linear": b.linear,
+        "tree": b.tree,
+        "ratio": BoundReport::ratio(denom, cost).unwrap_or(0.0),
+    })
+}
+
 /// Render a join tree with relation names, e.g. `((A ⋈ B) ⋈ (C ⋈ D))`.
 fn render_tree(tree: &BushyTree, query: &Query) -> String {
     match tree {
@@ -396,6 +451,8 @@ fn run_bushy(
             "portfolio": false,
             "cooperate": false,
             "workers_failed": 0u64,
+            "largen": largen_json(query, config),
+            "bound": bound_json(query, model, result.cost, false),
             "cache": cache_json(None, None, opts),
             "robustness": robustness_json(None, opts),
         });
@@ -408,6 +465,9 @@ fn run_bushy(
             opts.tau,
             opts.kappa
         );
+        if opts.schedule != BudgetSchedule::Quadratic {
+            println!("budget schedule: {}", opts.schedule);
+        }
         println!("estimated cost: {:.6e}", result.cost);
         println!(
             "search effort: {} evaluations / {} budget units",
@@ -481,6 +541,7 @@ fn main() -> ExitCode {
         let mut config = OptimizerConfig::new(method)
             .with_time_limit(opts.tau)
             .with_kappa(opts.kappa)
+            .with_schedule(opts.schedule)
             .with_seed(opts.seed);
         if let Some(ms) = opts.deadline_ms {
             config = config.with_deadline(Duration::from_millis(ms));
@@ -618,6 +679,8 @@ fn main() -> ExitCode {
             "portfolio": opts.portfolio,
             "cooperate": opts.cooperate,
             "workers_failed": result.workers_failed as u64,
+            "largen": largen_json(&query, &config),
+            "bound": bound_json(&query, model.as_ref(), result.cost, true),
             "cache": cache_stats_json,
             "robustness": robustness,
         });
@@ -630,6 +693,9 @@ fn main() -> ExitCode {
             opts.tau,
             opts.kappa
         );
+        if opts.schedule != BudgetSchedule::Quadratic {
+            println!("budget schedule: {}", opts.schedule);
+        }
         println!("estimated cost: {:.6e}", result.cost);
         println!(
             "search effort: {} evaluations / {} budget units",

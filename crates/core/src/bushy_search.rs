@@ -97,8 +97,8 @@ impl BushyTree {
 /// (The DP's own reported cost folds subset cardinalities in a different
 /// clamp order and may differ in the last bits.)
 ///
-/// Singleton trees cost `0.0`. Requires ≤ 64 relations (the arena's
-/// single-word bitset limit).
+/// Singleton trees cost `0.0`. Requires ≤ 256 relations (the arena's
+/// [`BlockMask`](ljqo_catalog::BlockMask) capacity).
 pub fn bushy_tree_cost(query: &Query, model: &dyn CostModel, tree: &BushyTree) -> f64 {
     let compiled = std::sync::Arc::new(CompiledQuery::new(query));
     let plan = tree.to_plan(&compiled);
@@ -431,8 +431,8 @@ impl BushyOptimized {
 ///
 /// Per component: the configured method runs in the bushy space (see
 /// [`MethodRunner::run_bushy`]), panic-isolated, under the unit budget
-/// and the optional deadline. Components beyond 64 relations exceed the
-/// arena's single-word bitset and are planned in the *linear* space
+/// and the optional deadline. Queries beyond 256 relations exceed the
+/// arena's [`BlockMask`](ljqo_catalog::BlockMask) and are planned in the *linear* space
 /// (their result embedded left-deep, not flagged as degradation — it is
 /// the paper's own restriction, honestly applied). Any rung-1 failure
 /// walks the linear fallback ladder of [`crate::try_optimize`] and
@@ -446,14 +446,14 @@ pub fn try_optimize_bushy(
     query.validate()?;
     let components = query.graph().components();
     let n = query.n_joins().max(1);
-    let total_budget = config.time_limit.units(n, config.kappa);
+    let total_budget = config.budget_units(n);
     let weight_sum: u64 = components
         .iter()
         .map(|c| (c.len() * c.len()) as u64)
         .sum::<u64>()
         .max(1);
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let linear_only = query.n_relations() > 64;
+    let linear_only = query.n_relations() > ljqo_catalog::BlockMask::CAPACITY;
 
     let mut segments: Vec<(BushyTree, f64)> = Vec::with_capacity(components.len());
     let mut units_used = 0;

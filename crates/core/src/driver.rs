@@ -23,7 +23,9 @@ use rand::SeedableRng;
 
 use ljqo_catalog::{Query, RelId};
 use ljqo_cost::estimate::{clamp_card, final_result_size};
-use ljqo_cost::{sanitize_cost, CostModel, Deadline, Evaluator, JoinCtx, TimeLimit};
+use ljqo_cost::{
+    sanitize_cost, BudgetSchedule, CostModel, Deadline, Evaluator, JoinCtx, TimeLimit,
+};
 use ljqo_heuristics::{AugmentationHeuristic, CardFreeHeuristic};
 use ljqo_plan::validity::is_valid;
 use ljqo_plan::{random_valid_order, JoinOrder, Plan};
@@ -43,6 +45,11 @@ pub struct OptimizerConfig {
     pub time_limit: TimeLimit,
     /// Budget calibration: units of work per `N²` (see `ljqo-cost`).
     pub kappa: f64,
+    /// How the budget grows with query size (see
+    /// [`BudgetSchedule`]). [`BudgetSchedule::Quadratic`] (the default)
+    /// reproduces the paper's `τ·N²·κ` rule bit-for-bit; the sublinear
+    /// schedules keep planning time sane in the `N = 100..1000` regime.
+    pub schedule: BudgetSchedule,
     /// RNG seed; runs are fully deterministic given the seed.
     pub seed: u64,
     /// Early stopping: stop a component's search once the best solution is
@@ -67,6 +74,7 @@ impl OptimizerConfig {
             method,
             time_limit: TimeLimit::of(9.0),
             kappa: 5.0,
+            schedule: BudgetSchedule::Quadratic,
             seed: 0,
             early_stop: None,
             deadline: None,
@@ -93,6 +101,21 @@ impl OptimizerConfig {
     pub fn with_kappa(mut self, kappa: f64) -> Self {
         self.kappa = kappa;
         self
+    }
+
+    /// Set the budget growth schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: BudgetSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Total budget units for a query with `n` joins: the configured
+    /// [`BudgetSchedule`] applied to this config's `τ` and `κ`. Every
+    /// entry point (linear, bushy, parallel, cached) derives its budget
+    /// from this one place.
+    pub fn budget_units(&self, n_joins: usize) -> u64 {
+        self.schedule.units(&self.time_limit, n_joins, self.kappa)
     }
 
     /// Enable early stopping within `epsilon` of the model's lower bound.
@@ -331,7 +354,7 @@ pub fn try_optimize(
     query.validate()?;
     let components = query.graph().components();
     let n = query.n_joins().max(1);
-    let total_budget = config.time_limit.units(n, config.kappa);
+    let total_budget = config.budget_units(n);
 
     let weight_sum: u64 = components
         .iter()
@@ -453,7 +476,7 @@ pub fn try_optimize_parallel(
     query.validate()?;
     let components = query.graph().components();
     let n = query.n_joins().max(1);
-    let total_budget = config.time_limit.units(n, config.kappa);
+    let total_budget = config.budget_units(n);
 
     let weight_sum: u64 = components
         .iter()

@@ -75,6 +75,9 @@ impl IterativeImprovement {
         order: &mut JoinOrder,
         rng: &mut R,
     ) -> f64 {
+        // The caller hands us an arbitrary start state; any windowed
+        // validity cache inside the generator refers to the previous one.
+        gen.reset();
         let start = std::mem::replace(order, JoinOrder::new(Vec::new()));
         let (mut path, mut current) = MovePath::begin(ev, start, self.full_eval);
         let fail_limit = self.fail_limit(path.order().len());

@@ -62,6 +62,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod bound;
 pub mod bushy;
 pub mod bushy_search;
 mod cached;

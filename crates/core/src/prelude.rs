@@ -4,6 +4,7 @@
 //! use ljqo::prelude::*;
 //! ```
 
+pub use crate::bound::{bound_report, cardinality_floors, component_bound, BoundReport};
 pub use crate::bushy::{optimal_bushy_dp, BushyTree};
 pub use crate::bushy_search::{
     bushy_gap_vs_dp, bushy_tree_cost, try_optimize_bushy, BushyIterativeImprovement,
@@ -16,7 +17,7 @@ pub use crate::parallel::{
     ParallelResult, Parallelism, WorkerReport, PORTFOLIO, ROBUST_PORTFOLIO,
 };
 pub use crate::robust::{recost_plan, regret_under, regret_under_parallel, RegretSample};
-pub use crate::trace::{trace_run, Trace, TracePoint};
+pub use crate::trace::{trace_run, trace_run_scheduled, Trace, TracePoint};
 pub use crate::{
     optimize, optimize_batch, optimize_batch_cached, optimize_cached, optimize_cached_parallel,
     try_optimize, try_optimize_parallel, BatchOptions, BatchReport, CacheOutcome, Degradation,
@@ -29,7 +30,8 @@ pub use ljqo_cache::{
 };
 pub use ljqo_catalog::{CatalogError, JoinEdge, JoinGraph, Query, QueryBuilder, RelId, Relation};
 pub use ljqo_cost::{
-    CostModel, Deadline, DiskCostModel, Evaluator, JoinCtx, MemoryCostModel, TimeLimit,
+    BudgetSchedule, CostModel, Deadline, DiskCostModel, Evaluator, JoinCtx, MemoryCostModel,
+    TimeLimit,
 };
 pub use ljqo_heuristics::{
     AugmentationCriterion, AugmentationHeuristic, KbzHeuristic, LocalImprovement, MstWeight,

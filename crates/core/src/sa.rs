@@ -113,8 +113,10 @@ impl SimulatedAnnealing {
             current = c;
         }
         // Walk back to the start state; its cost was paid by `begin`, so
-        // the reset is free (see [`MovePath::reset_to`]).
+        // the reset is free (see [`MovePath::reset_to`]). The jump
+        // invalidates the generator's windowed validity cache.
         path.reset_to(home);
+        gen.reset();
         let t0 = if uphill_n == 0 {
             1.0
         } else {
@@ -183,6 +185,7 @@ impl SimulatedAnnealing {
                     if let Some((best, best_cost)) = ev.best() {
                         let best = best.clone();
                         path.reset_to(best);
+                        gen.reset();
                         current = best_cost;
                     }
                     temp = (t0 * 0.5).max(f64::MIN_POSITIVE);

@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use ljqo_catalog::Query;
-use ljqo_cost::{CostModel, Evaluator, TimeLimit};
+use ljqo_cost::{BudgetSchedule, CostModel, Evaluator, TimeLimit};
 
 use crate::methods::{Method, MethodRunner};
 
@@ -74,11 +74,39 @@ pub fn trace_run(
     resolution: usize,
     seed: u64,
 ) -> Trace {
+    trace_run_scheduled(
+        query,
+        model,
+        method,
+        runner,
+        time_limit,
+        kappa,
+        BudgetSchedule::Quadratic,
+        resolution,
+        seed,
+    )
+}
+
+/// As [`trace_run`] but with an explicit [`BudgetSchedule`] deciding how
+/// the traced budget grows with query size ([`trace_run`] is the
+/// quadratic special case).
+#[allow(clippy::too_many_arguments)] // a flat tracing entry point; all knobs are orthogonal
+pub fn trace_run_scheduled(
+    query: &Query,
+    model: &dyn CostModel,
+    method: Method,
+    runner: &MethodRunner,
+    time_limit: TimeLimit,
+    kappa: f64,
+    schedule: BudgetSchedule,
+    resolution: usize,
+    seed: u64,
+) -> Trace {
     let components = query.graph().components();
     assert_eq!(components.len(), 1, "trace_run wants a connected query");
     let component = &components[0];
 
-    let budget = time_limit.units(query.n_joins().max(1), kappa);
+    let budget = schedule.units(&time_limit, query.n_joins().max(1), kappa);
     let resolution = resolution.max(2) as u64;
     // The multiply is widened to u128: `budget * i` overflows u64 for
     // budgets past `u64::MAX / resolution` (τ ≈ 1e17 at N = 10 already

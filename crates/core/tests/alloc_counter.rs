@@ -89,6 +89,30 @@ fn test_query() -> Query {
     b.build().unwrap()
 }
 
+/// A 200-relation chain with periodic chords: big enough that every
+/// bitset in the hot loop is multi-word (stride 4 — one full block),
+/// so the steady-state guarantee covers the large-N kernel tier, not
+/// just the single-word fast path the 12-relation query exercises.
+fn large_query() -> Query {
+    const N: usize = 200;
+    let mut b = QueryBuilder::new();
+    for i in 0..N {
+        b = b.relation(format!("r{i}"), 10 + ((i as u64 * 37) % 5000));
+    }
+    for i in 1..N {
+        b = b.join(
+            &format!("r{}", i - 1),
+            &format!("r{i}"),
+            0.001 + 0.0004 * (i % 17) as f64,
+        );
+    }
+    // Chords every 13 relations so neighbor rows span several words.
+    for i in (13..N).step_by(13) {
+        b = b.join(&format!("r{}", i - 13), &format!("r{i}"), 0.01);
+    }
+    b.build().unwrap()
+}
+
 fn all_kinds() -> MoveSet {
     MoveSet {
         adjacent_swap: 0.25,
@@ -100,18 +124,17 @@ fn all_kinds() -> MoveSet {
 
 /// Allocation events per `ITERS` steady-state iterations of the raw
 /// propose → eval → commit/rollback loop on the compiled path.
-fn steady_state_events(estimator: Estimator) -> u64 {
+fn steady_state_events_on(q: &Query, estimator: Estimator, seed: u64) -> u64 {
     const WARMUP: usize = 64;
     const ITERS: usize = 512;
 
-    let q = test_query();
     let model = MemoryCostModel::default();
-    let compiled = Arc::new(CompiledQuery::new(&q));
+    let compiled = Arc::new(CompiledQuery::new(q));
     let comp: Vec<RelId> = q.rel_ids().collect();
-    let mut rng = SmallRng::seed_from_u64(0xa110c);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let order = random_valid_order(q.graph(), &comp, &mut rng);
     let mut inc =
-        IncrementalEvaluator::with_compiled(&q, &model, estimator, order, Arc::clone(&compiled));
+        IncrementalEvaluator::with_compiled(q, &model, estimator, order, Arc::clone(&compiled));
     let mut gen = MoveGenerator::with_compiled(compiled, all_kinds());
     let mut current = inc.current_cost();
     let graph = q.graph();
@@ -139,7 +162,7 @@ fn steady_state_events(estimator: Estimator) -> u64 {
 /// pre-sized scratch buffers).
 #[test]
 fn static_move_loop_is_allocation_free() {
-    let events = steady_state_events(Estimator::Static);
+    let events = steady_state_events_on(&test_query(), Estimator::Static, 0xa110c);
     assert_eq!(
         events, 0,
         "static steady-state move loop performed {events} heap allocations"
@@ -151,10 +174,35 @@ fn static_move_loop_is_allocation_free() {
 /// the post-commit snapshot rebuild all reuse full-capacity buffers.
 #[test]
 fn propagated_move_loop_is_allocation_free() {
-    let events = steady_state_events(Estimator::Propagated);
+    let events = steady_state_events_on(&test_query(), Estimator::Propagated, 0xa110c);
     assert_eq!(
         events, 0,
         "propagated steady-state move loop performed {events} heap allocations"
+    );
+}
+
+/// At N = 200 every mask is one full 4-word block: the windowed
+/// validity kernel, the prefix-mask cache and both estimators' scratch
+/// state must still run allocation-free at steady state — in debug and
+/// release builds alike. This is the load-bearing guarantee of the
+/// large-N regime: proposal cost stays O(window), with no hidden heap
+/// traffic as N grows.
+#[test]
+fn static_move_loop_is_allocation_free_at_n200() {
+    let events = steady_state_events_on(&large_query(), Estimator::Static, 0xa110c + 3);
+    assert_eq!(
+        events, 0,
+        "static N=200 steady-state move loop performed {events} heap allocations"
+    );
+}
+
+/// Propagated-estimator counterpart of the N = 200 guarantee.
+#[test]
+fn propagated_move_loop_is_allocation_free_at_n200() {
+    let events = steady_state_events_on(&large_query(), Estimator::Propagated, 0xa110c + 4);
+    assert_eq!(
+        events, 0,
+        "propagated N=200 steady-state move loop performed {events} heap allocations"
     );
 }
 

@@ -117,6 +117,13 @@ impl<M: CostModel> CostModel for FaultyCostModel<M> {
     fn supports_incremental(&self) -> bool {
         false
     }
+
+    /// A model that panics or emits `NaN` mid-stream has no meaningful
+    /// monotone cost surface; opting out keeps the `ljqo::bound`
+    /// certifier from deriving a "lower bound" out of injected faults.
+    fn monotone_join_cost(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

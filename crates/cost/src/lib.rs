@@ -97,6 +97,105 @@ impl TimeLimit {
     }
 }
 
+/// How the work budget grows with query size.
+///
+/// The paper works at `N ≤ 100`, where its `τ·N²` CPU allotment is
+/// affordable. At `N = 1000` the same rule hands the optimizer 100× the
+/// budget of an `N = 100` query — minutes of planning for one query. The
+/// schedule decouples *per-unit* calibration (still [`TimeLimit`]'s `τ`
+/// and the driver's `κ`) from the *growth curve*:
+///
+/// * [`Quadratic`](BudgetSchedule::Quadratic) — the paper's rule,
+///   `⌊τ·N²·κ⌋`, bit-identical to [`TimeLimit::units`]. The default.
+/// * [`Capped`](BudgetSchedule::Capped) — quadratic up to a threshold
+///   `t`, then frozen at `⌊τ·t²·κ⌋`: a hard ceiling on planning work no
+///   matter how large the query grows.
+/// * [`NlogN`](BudgetSchedule::NlogN) — quadratic up to `t`, then
+///   `τ·κ·t·N·log₂N ⁄ log₂t`: keeps growing (bigger queries *do* deserve
+///   more work — their neighborhoods are larger) but only
+///   quasi-linearly. Continuous at the threshold: both branches give
+///   `τ·κ·t²` at `N = t`.
+///
+/// All three floor at one unit, like [`TimeLimit::units`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetSchedule {
+    /// The paper's `τ·N²·κ` rule (default; bit-identical to
+    /// [`TimeLimit::units`]).
+    #[default]
+    Quadratic,
+    /// `τ·min(N, t)²·κ` — quadratic until `t` joins, constant beyond.
+    Capped {
+        /// Join count `t` at which the budget stops growing.
+        threshold: usize,
+    },
+    /// Quadratic until `t` joins, then `τ·κ·t·N·log₂N ⁄ log₂t`.
+    NlogN {
+        /// Join count `t` at which growth switches to `N·log N`
+        /// (must be ≥ 2 for the `log₂t` divisor to be positive;
+        /// enforced by clamping).
+        threshold: usize,
+    },
+}
+
+impl BudgetSchedule {
+    /// Budget units for a query with `n` joins, combining the schedule's
+    /// growth curve with `limit`'s per-`N²` multiplier `τ` and the
+    /// calibration constant `kappa`.
+    pub fn units(&self, limit: &TimeLimit, n_joins: usize, kappa: f64) -> u64 {
+        match *self {
+            BudgetSchedule::Quadratic => limit.units(n_joins, kappa),
+            BudgetSchedule::Capped { threshold } => limit.units(n_joins.min(threshold), kappa),
+            BudgetSchedule::NlogN { threshold } => {
+                let t = threshold.max(2);
+                if n_joins <= t {
+                    limit.units(n_joins, kappa)
+                } else {
+                    let n = n_joins as f64;
+                    let tf = t as f64;
+                    (limit.tau * kappa * tf * n * n.log2() / tf.log2()).max(1.0) as u64
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BudgetSchedule::Quadratic => write!(f, "quadratic"),
+            BudgetSchedule::Capped { threshold } => write!(f, "capped:{threshold}"),
+            BudgetSchedule::NlogN { threshold } => write!(f, "nlogn:{threshold}"),
+        }
+    }
+}
+
+impl std::str::FromStr for BudgetSchedule {
+    type Err = String;
+
+    /// Parses `quadratic`, `capped:<t>`, or `nlogn:<t>` (the [`Display`]
+    /// format, so round-trips).
+    ///
+    /// [`Display`]: std::fmt::Display
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_threshold = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| format!("bad schedule threshold {v:?} (want a positive integer)"))
+        };
+        match s.split_once(':') {
+            None if s == "quadratic" => Ok(BudgetSchedule::Quadratic),
+            Some(("capped", v)) => Ok(BudgetSchedule::Capped {
+                threshold: parse_threshold(v)?,
+            }),
+            Some(("nlogn", v)) => Ok(BudgetSchedule::NlogN {
+                threshold: parse_threshold(v)?,
+            }),
+            _ => Err(format!(
+                "unknown budget schedule {s:?} (want quadratic, capped:<t>, or nlogn:<t>)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +211,61 @@ mod tests {
     fn time_limit_units_floor_at_one() {
         let t = TimeLimit::of(1e-9);
         assert_eq!(t.units(10, 20.0), 1);
+    }
+
+    #[test]
+    fn quadratic_schedule_matches_time_limit_exactly() {
+        let t = TimeLimit::of(1.5);
+        for n in [1usize, 2, 7, 64, 100, 333, 1000] {
+            for kappa in [0.5, 20.0, 137.25] {
+                assert_eq!(
+                    BudgetSchedule::Quadratic.units(&t, n, kappa),
+                    t.units(n, kappa),
+                    "n={n} kappa={kappa}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_schedule_freezes_at_threshold() {
+        let t = TimeLimit::of(9.0);
+        let s = BudgetSchedule::Capped { threshold: 100 };
+        assert_eq!(s.units(&t, 50, 20.0), t.units(50, 20.0));
+        assert_eq!(s.units(&t, 100, 20.0), t.units(100, 20.0));
+        assert_eq!(s.units(&t, 250, 20.0), t.units(100, 20.0));
+        assert_eq!(s.units(&t, 1000, 20.0), t.units(100, 20.0));
+    }
+
+    #[test]
+    fn nlogn_schedule_is_continuous_and_subquadratic() {
+        let t = TimeLimit::of(9.0);
+        let s = BudgetSchedule::NlogN { threshold: 100 };
+        // Below/at the threshold: exactly quadratic.
+        assert_eq!(s.units(&t, 64, 20.0), t.units(64, 20.0));
+        assert_eq!(s.units(&t, 100, 20.0), t.units(100, 20.0));
+        // Just past the threshold: no cliff (within integer truncation).
+        let at = s.units(&t, 100, 20.0) as f64;
+        let past = s.units(&t, 101, 20.0) as f64;
+        assert!(past > at && past < at * 1.05, "at={at} past={past}");
+        // Far past: strictly between the cap and full quadratic.
+        let far = s.units(&t, 1000, 20.0);
+        assert!(far > BudgetSchedule::Capped { threshold: 100 }.units(&t, 1000, 20.0));
+        assert!(far < BudgetSchedule::Quadratic.units(&t, 1000, 20.0));
+    }
+
+    #[test]
+    fn schedule_display_round_trips_through_from_str() {
+        for s in [
+            BudgetSchedule::Quadratic,
+            BudgetSchedule::Capped { threshold: 128 },
+            BudgetSchedule::NlogN { threshold: 256 },
+        ] {
+            assert_eq!(s.to_string().parse::<BudgetSchedule>().unwrap(), s);
+        }
+        assert!("nope".parse::<BudgetSchedule>().is_err());
+        assert!("capped:x".parse::<BudgetSchedule>().is_err());
+        assert!("capped".parse::<BudgetSchedule>().is_err());
     }
 
     #[test]

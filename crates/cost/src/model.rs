@@ -80,6 +80,20 @@ pub trait CostModel: Sync {
     fn supports_incremental(&self) -> bool {
         true
     }
+
+    /// Whether [`CostModel::join_cost`] is monotone non-decreasing in each
+    /// of `outer_card`, `inner_card`, `output_card`, and `outer_rels`
+    /// (holding the others fixed). The LP-style certifier in `ljqo::bound` relies on
+    /// this to turn per-step cardinality lower bounds into a cost lower
+    /// bound: it prices each step at the *smallest* cardinalities any
+    /// plan could present, which under-estimates the true step cost only
+    /// if larger inputs never cost less. Models that are not monotone
+    /// (e.g. fault injectors that invert costs) **must** return `false`,
+    /// which disables the certifier for them (the reported bound falls
+    /// back to [`CostModel::lower_bound`]).
+    fn monotone_join_cost(&self) -> bool {
+        true
+    }
 }
 
 /// Shared helper for lower bounds: the final result size of a component

@@ -71,8 +71,7 @@ fn join_value(
         let eid = EdgeId(e as u32);
         let a = cq.edge_a(eid).index();
         let b = cq.edge_b(eid).index();
-        let crosses = ((l.set >> a) & 1 == 1 && (r.set >> b) & 1 == 1)
-            || ((l.set >> b) & 1 == 1 && (r.set >> a) & 1 == 1);
+        let crosses = (l.set.test(a) && r.set.test(b)) || (l.set.test(b) && r.set.test(a));
         if crosses {
             *sel.get_or_insert(1.0) *= cq.edge_selectivity(eid);
         }

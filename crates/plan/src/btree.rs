@@ -17,15 +17,17 @@
 //!
 //! # Validity masks
 //!
-//! Each node carries two bitset words over relations (the same single-word
-//! fast path as [`crate::BitsetChecker`], so trees are limited to queries
-//! of ≤ 64 relations):
+//! Each node carries two one-block bitsets over relations
+//! ([`BlockMask`], a `Copy` `[u64; 4]`, so trees cover queries of up to
+//! [`BlockMask::CAPACITY`] = 256 relations while masks stay registers):
 //!
 //! * `set` — the relations below the node;
-//! * `nbr` — the union of [`CompiledQuery::neighbor_word`] over `set`.
+//! * `nbr` — the union of [`CompiledQuery::neighbor_block_mask`] over
+//!   `set`.
 //!
-//! A join is cross-product free iff `left.nbr & right.set != 0`, and two
-//! subtrees are disjoint iff `a.set & b.set == 0` — both `O(1)`.
+//! A join is cross-product free iff `left.nbr` intersects `right.set`,
+//! and two subtrees are disjoint iff `a.set` and `b.set` are — both
+//! `O(1)` branch-free block kernels.
 //!
 //! # Moves
 //!
@@ -39,11 +41,11 @@
 //! because each move snapshots the full path from every touched node to
 //! the root.
 //!
-//! [`CompiledQuery::neighbor_word`]: ljqo_catalog::CompiledQuery::neighbor_word
+//! [`CompiledQuery::neighbor_block_mask`]: ljqo_catalog::CompiledQuery::neighbor_block_mask
 
 use rand::Rng;
 
-use ljqo_catalog::{CompiledQuery, RelId};
+use ljqo_catalog::{BlockMask, CompiledQuery, RelId};
 
 /// Sentinel index for "no node" (absent parent/children).
 pub const NO_NODE: u32 = u32::MAX;
@@ -60,9 +62,9 @@ pub struct TreeNode {
     /// The base relation (meaningful for leaves only).
     pub rel: RelId,
     /// Bitset of relations in this subtree.
-    pub set: u64,
-    /// Union of the compiled neighbor words of the relations in `set`.
-    pub nbr: u64,
+    pub set: BlockMask,
+    /// Union of the compiled neighbor masks of the relations in `set`.
+    pub nbr: BlockMask,
 }
 
 impl TreeNode {
@@ -201,13 +203,14 @@ impl TreePlan {
     /// seed (or fall back from) a tree search.
     ///
     /// Panics on an empty order; trees require `compiled` to cover at
-    /// most 64 relations (single-word bitsets, debug-asserted).
+    /// most [`BlockMask::CAPACITY`] relations (one-block bitsets,
+    /// debug-asserted).
     pub fn from_order(compiled: &CompiledQuery, rels: &[RelId]) -> TreePlan {
         assert!(!rels.is_empty(), "empty join order");
-        debug_assert_eq!(
-            compiled.words_per_rel(),
-            1,
-            "tree plans require <= 64 relations"
+        debug_assert!(
+            compiled.n_relations() <= BlockMask::CAPACITY,
+            "tree plans require <= {} relations",
+            BlockMask::CAPACITY
         );
         let k = rels.len();
         let n_nodes = 2 * k - 1;
@@ -218,16 +221,16 @@ impl TreePlan {
                 right: NO_NODE,
                 parent: NO_NODE,
                 rel: r,
-                set: 1u64 << r.index(),
-                nbr: compiled.neighbor_word(r),
+                set: BlockMask::singleton(r.index()),
+                nbr: compiled.neighbor_block_mask(r),
             });
         }
         let mut prev = 0u32;
         for (i, _) in rels.iter().enumerate().skip(1) {
             let id = (k + i - 1) as u32;
             let leaf = i as u32;
-            let set = nodes[prev as usize].set | nodes[leaf as usize].set;
-            let nbr = nodes[prev as usize].nbr | nodes[leaf as usize].nbr;
+            let set = nodes[prev as usize].set.union(&nodes[leaf as usize].set);
+            let nbr = nodes[prev as usize].nbr.union(&nodes[leaf as usize].nbr);
             nodes.push(TreeNode {
                 left: prev,
                 right: leaf,
@@ -263,10 +266,10 @@ impl TreePlan {
             leaves.len() - 1,
             "a tree over k leaves has k-1 joins"
         );
-        debug_assert_eq!(
-            compiled.words_per_rel(),
-            1,
-            "tree plans require <= 64 relations"
+        debug_assert!(
+            compiled.n_relations() <= BlockMask::CAPACITY,
+            "tree plans require <= {} relations",
+            BlockMask::CAPACITY
         );
         let k = leaves.len();
         let n_nodes = 2 * k - 1;
@@ -277,8 +280,8 @@ impl TreePlan {
                 right: NO_NODE,
                 parent: NO_NODE,
                 rel: r,
-                set: 1u64 << r.index(),
-                nbr: compiled.neighbor_word(r),
+                set: BlockMask::singleton(r.index()),
+                nbr: compiled.neighbor_block_mask(r),
             });
         }
         for (i, &(l, r)) in joins.iter().enumerate() {
@@ -291,8 +294,8 @@ impl TreePlan {
                 nodes[l as usize].parent == NO_NODE && nodes[r as usize].parent == NO_NODE,
                 "join {i} reuses a child that already has a parent"
             );
-            let set = nodes[l as usize].set | nodes[r as usize].set;
-            let nbr = nodes[l as usize].nbr | nodes[r as usize].nbr;
+            let set = nodes[l as usize].set.union(&nodes[r as usize].set);
+            let nbr = nodes[l as usize].nbr.union(&nodes[r as usize].nbr);
             nodes.push(TreeNode {
                 left: l,
                 right: r,
@@ -391,7 +394,10 @@ impl TreePlan {
     /// its operands (no cross products). `O(n)` using the masks.
     pub fn is_cross_product_free(&self) -> bool {
         self.nodes.iter().all(|n| {
-            n.is_leaf() || self.nodes[n.left as usize].nbr & self.nodes[n.right as usize].set != 0
+            n.is_leaf()
+                || self.nodes[n.left as usize]
+                    .nbr
+                    .intersects(&self.nodes[n.right as usize].set)
         })
     }
 
@@ -451,11 +457,14 @@ impl TreePlan {
         for &id in post.iter().rev() {
             let n = &self.nodes[id as usize];
             let (set, nbr) = if n.is_leaf() {
-                (1u64 << n.rel.index(), compiled.neighbor_word(n.rel))
+                (
+                    BlockMask::singleton(n.rel.index()),
+                    compiled.neighbor_block_mask(n.rel),
+                )
             } else {
                 let l = &self.nodes[n.left as usize];
                 let r = &self.nodes[n.right as usize];
-                (l.set | r.set, l.nbr | r.nbr)
+                (l.set.union(&r.set), l.nbr.union(&r.nbr))
             };
             if n.set != set || n.nbr != nbr {
                 return Err(format!("node {id}: stale masks"));
@@ -492,8 +501,8 @@ impl TreePlan {
                 let r = &self.nodes[n.right as usize];
                 let (rs, rn) = (r.set, r.nbr);
                 let m = &mut self.nodes[id as usize];
-                m.set = ls | rs;
-                m.nbr = ln | rn;
+                m.set = ls.union(&rs);
+                m.nbr = ln.union(&rn);
             }
             id = n.parent;
         }
@@ -505,7 +514,9 @@ impl TreePlan {
         while id != NO_NODE {
             let n = &self.nodes[id as usize];
             if !n.is_leaf()
-                && self.nodes[n.left as usize].nbr & self.nodes[n.right as usize].set == 0
+                && !self.nodes[n.left as usize]
+                    .nbr
+                    .intersects(&self.nodes[n.right as usize].set)
             {
                 return false;
             }
@@ -746,7 +757,9 @@ impl TreePlan {
                     if a == b
                         || a == self.root
                         || b == self.root
-                        || self.nodes[a as usize].set & self.nodes[b as usize].set != 0
+                        || self.nodes[a as usize]
+                            .set
+                            .intersects(&self.nodes[b as usize].set)
                     {
                         None
                     } else {
@@ -780,7 +793,9 @@ impl TreePlan {
                     let s_on_left = rng.gen::<bool>();
                     if s == self.root
                         || t == s
-                        || self.nodes[s as usize].set & self.nodes[t as usize].set != 0
+                        || self.nodes[s as usize]
+                            .set
+                            .intersects(&self.nodes[t as usize].set)
                     {
                         None
                     } else {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use rand::Rng;
 
-use ljqo_catalog::{CompiledQuery, JoinGraph};
+use ljqo_catalog::{CompiledQuery, JoinGraph, RelId};
 
 use crate::order::JoinOrder;
 use crate::validity::{BitsetChecker, ValidityChecker};
@@ -269,6 +269,13 @@ pub struct MoveGenerator {
     /// Compiled snapshot + bitset checker for windowed validity filtering;
     /// when set, `propose_counted` ignores its graph argument.
     compiled: Option<(Arc<CompiledQuery>, BitsetChecker)>,
+    /// Acceptance probe for the prefix-mask cache: position and pre-move
+    /// relation at `first_touched()` of the last returned proposal. At the
+    /// next call, `order[pos] != rel` means the caller kept the move (the
+    /// cache is truncated at `pos`); equality means it was undone (every
+    /// move changes the relation at its first touched position, so the
+    /// probe distinguishes the two exactly).
+    probe: Option<(usize, RelId)>,
     /// Give up after this many invalid proposals (the state is then treated
     /// as having no available move — practically unreachable for connected
     /// graphs with more than two relations).
@@ -282,6 +289,7 @@ impl MoveGenerator {
             move_set,
             checker: ValidityChecker::new(n_relations),
             compiled: None,
+            probe: None,
             max_retries: 64.max(4 * n_relations),
         }
     }
@@ -299,7 +307,22 @@ impl MoveGenerator {
             move_set,
             checker: ValidityChecker::new(n_relations),
             compiled: Some((compiled, BitsetChecker::new(n_relations))),
+            probe: None,
             max_retries: 64.max(4 * n_relations),
+        }
+    }
+
+    /// Notify the generator that the base order changed in a way it could
+    /// not observe — a restart from a different order, a rollback to an
+    /// earlier state, or switching to another component. Invalidates the
+    /// windowed checker's prefix-mask cache.
+    ///
+    /// Not needed for the regular propose → accept/undo loop: the
+    /// generator detects both outcomes of its own proposals.
+    pub fn reset(&mut self) {
+        self.probe = None;
+        if let Some((_, bitset)) = &mut self.compiled {
+            bitset.reset_prefix();
         }
     }
 
@@ -386,16 +409,29 @@ impl MoveGenerator {
         if len < 2 {
             return None;
         }
+        // Resolve the previous proposal's fate: if the caller kept it, the
+        // relation at its first touched position changed, and the prefix
+        // cache past that position is stale.
+        if let Some((pos, rel)) = self.probe.take() {
+            if pos < len && order.at(pos) != rel {
+                if let Some((_, bitset)) = &mut self.compiled {
+                    bitset.truncate_prefix(pos);
+                }
+            }
+        }
         for attempt in 1..=self.max_retries {
             let mv = self.sample_move(len, rng);
+            let lo = mv.first_touched();
+            let pre = order.at(lo);
             mv.apply(order);
             let valid = match &mut self.compiled {
                 Some((cq, bitset)) => {
-                    let ok = bitset.window_valid(
-                        cq,
-                        order.rels(),
-                        mv.first_touched(),
-                        mv.last_touched(),
+                    let ok = bitset.window_valid_primed(cq, order.rels(), lo, mv.last_touched());
+                    debug_assert_eq!(
+                        ok,
+                        bitset.window_valid(cq, order.rels(), lo, mv.last_touched()),
+                        "primed windowed validity must agree with the uncached check \
+                         (was the generator told about a base-order change?)"
                     );
                     debug_assert_eq!(
                         ok,
@@ -408,6 +444,7 @@ impl MoveGenerator {
                 None => self.checker.is_valid(graph, order.rels()),
             };
             if valid {
+                self.probe = Some((lo, pre));
                 return Some((mv, attempt as u32));
             }
             mv.undo(order);

@@ -5,6 +5,7 @@
 //! paper restricts all search to the space of valid join trees; the move
 //! set and the random state generator both rely on these checks.
 
+use ljqo_catalog::bitset::{self, BLOCK_WORDS};
 use ljqo_catalog::{CompiledQuery, JoinGraph, RelId};
 
 /// Whether `order` is a valid join order under `graph`.
@@ -88,11 +89,14 @@ impl ValidityChecker {
 
 /// Bitset-backed validity checker over a [`CompiledQuery`].
 ///
-/// Equivalent to [`ValidityChecker`] but represents the placed set as
-/// `⌈n/64⌉` machine words, so each position's connectivity test is a
-/// branch-light word-AND against the relation's precompiled neighbor mask
-/// ([`CompiledQuery::connects`]) instead of an `O(deg)` edge chase. The
-/// checker allocates its words once and never again.
+/// Equivalent to [`ValidityChecker`] but represents the placed set as a
+/// blocked multi-word bitset (stride per [`bitset::mask_stride`]), so each
+/// position's connectivity test is a branch-light word-AND against the
+/// relation's precompiled neighbor row instead of an `O(deg)` edge chase.
+/// Every check dispatches once on the stride tier — one word (N ≤ 64, a
+/// single register), one block (N ≤ 256, a stack `[u64; 4]`), or the
+/// general chunked kernel — and stays on that tier for the whole scan.
+/// The checker allocates its words once and never again.
 ///
 /// On top of the full check it offers [`BitsetChecker::window_valid`], a
 /// *windowed* re-check for move filtering: a move permutes relations only
@@ -100,49 +104,88 @@ impl ValidityChecker {
 /// depends only on the **set** of relations placed before it — so when the
 /// pre-move order was valid, revalidating the window alone is exact, making
 /// move filtering `O(window · n/64)` instead of `O(Σ deg)`.
+///
+/// For proposal loops that revalidate many windows of the *same* slowly
+/// evolving base order there is a third, faster form:
+/// [`BitsetChecker::window_valid_primed`] serves the pre-window placed set
+/// from a cached prefix-mask table, removing the `O(lo)` prefix fill that
+/// otherwise dominates at large `N`.
 #[derive(Debug)]
 pub struct BitsetChecker {
+    /// Scratch placed-set words, `stride` long.
     placed: Vec<u64>,
+    /// Mask stride (1, or a multiple of [`BLOCK_WORDS`]).
+    stride: usize,
+    /// Prefix-mask table for the primed path: entry `i` (words
+    /// `i·stride ..< (i+1)·stride`) is the placed mask of `order[..i]`.
+    /// Only the first `prefix_valid` entries are meaningful.
+    prefix: Vec<u64>,
+    /// Number of valid prefix entries (entry 0, the empty mask, is always
+    /// valid).
+    prefix_valid: usize,
 }
 
 impl BitsetChecker {
     /// Create a checker for graphs with up to `n_relations` relations.
     pub fn new(n_relations: usize) -> Self {
+        let stride = bitset::stride_for_relations(n_relations);
         BitsetChecker {
-            placed: vec![0u64; n_relations.div_ceil(64).max(1)],
+            placed: vec![0u64; stride],
+            stride,
+            prefix: vec![0u64; (n_relations + 1) * stride],
+            prefix_valid: 1,
         }
     }
 
     /// Equivalent to [`is_valid`]: whether `order` is a valid join order.
     pub fn is_valid(&mut self, compiled: &CompiledQuery, order: &[RelId]) -> bool {
-        debug_assert_eq!(self.placed.len(), compiled.words_per_rel());
-        if compiled.words_per_rel() == 1 {
-            // ≤ 64 relations: the whole placed set lives in one register.
-            let mut placed = 0u64;
-            let mut iter = order.iter();
-            if let Some(&first) = iter.next() {
-                placed |= 1u64 << first.index();
-            }
-            for &r in iter {
-                if compiled.neighbor_word(r) & placed == 0 {
-                    return false;
+        debug_assert_eq!(self.stride, compiled.mask_stride());
+        match self.stride {
+            1 => {
+                // ≤ 64 relations: the whole placed set lives in one register.
+                let mut placed = 0u64;
+                let mut iter = order.iter();
+                if let Some(&first) = iter.next() {
+                    placed |= 1u64 << first.index();
                 }
-                placed |= 1u64 << r.index();
+                for &r in iter {
+                    if compiled.neighbor_word(r) & placed == 0 {
+                        return false;
+                    }
+                    placed |= 1u64 << r.index();
+                }
+                true
             }
-            return true;
-        }
-        self.placed.fill(0);
-        let mut iter = order.iter();
-        if let Some(&first) = iter.next() {
-            compiled.set_placed(&mut self.placed, first);
-        }
-        for &r in iter {
-            if !compiled.connects(r, &self.placed) {
-                return false;
+            BLOCK_WORDS => {
+                // ≤ 256 relations: one stack block, no heap traffic.
+                let mut placed = [0u64; BLOCK_WORDS];
+                let mut iter = order.iter();
+                if let Some(&first) = iter.next() {
+                    bitset::set_bit(&mut placed, first.index());
+                }
+                for &r in iter {
+                    if !block_connects(compiled, r, &placed) {
+                        return false;
+                    }
+                    bitset::set_bit(&mut placed, r.index());
+                }
+                true
             }
-            compiled.set_placed(&mut self.placed, r);
+            _ => {
+                self.placed.fill(0);
+                let mut iter = order.iter();
+                if let Some(&first) = iter.next() {
+                    compiled.set_placed(&mut self.placed, first);
+                }
+                for &r in iter {
+                    if !compiled.connects_blocks(r, &self.placed) {
+                        return false;
+                    }
+                    compiled.set_placed(&mut self.placed, r);
+                }
+                true
+            }
         }
-        true
     }
 
     /// Whether `order` — known to be valid *before* a move that only
@@ -161,35 +204,158 @@ impl BitsetChecker {
         lo: usize,
         hi: usize,
     ) -> bool {
-        debug_assert_eq!(self.placed.len(), compiled.words_per_rel());
+        debug_assert_eq!(self.stride, compiled.mask_stride());
         debug_assert!(hi < order.len());
         let start = lo.max(1);
-        if compiled.words_per_rel() == 1 {
-            // ≤ 64 relations: one register, no memory traffic at all.
-            let mut placed = 0u64;
-            for &r in &order[..start] {
-                placed |= 1u64 << r.index();
-            }
-            for &r in &order[start..=hi] {
-                if compiled.neighbor_word(r) & placed == 0 {
-                    return false;
+        match self.stride {
+            1 => {
+                // ≤ 64 relations: one register, no memory traffic at all.
+                let mut placed = 0u64;
+                for &r in &order[..start] {
+                    placed |= 1u64 << r.index();
                 }
-                placed |= 1u64 << r.index();
+                for &r in &order[start..=hi] {
+                    if compiled.neighbor_word(r) & placed == 0 {
+                        return false;
+                    }
+                    placed |= 1u64 << r.index();
+                }
+                true
             }
-            return true;
-        }
-        self.placed.fill(0);
-        for &r in &order[..start] {
-            compiled.set_placed(&mut self.placed, r);
-        }
-        for &r in &order[start..=hi] {
-            if !compiled.connects(r, &self.placed) {
-                return false;
+            BLOCK_WORDS => {
+                let mut placed = [0u64; BLOCK_WORDS];
+                for &r in &order[..start] {
+                    bitset::set_bit(&mut placed, r.index());
+                }
+                for &r in &order[start..=hi] {
+                    if !block_connects(compiled, r, &placed) {
+                        return false;
+                    }
+                    bitset::set_bit(&mut placed, r.index());
+                }
+                true
             }
-            compiled.set_placed(&mut self.placed, r);
+            _ => {
+                self.placed.fill(0);
+                for &r in &order[..start] {
+                    compiled.set_placed(&mut self.placed, r);
+                }
+                for &r in &order[start..=hi] {
+                    if !compiled.connects_blocks(r, &self.placed) {
+                        return false;
+                    }
+                    compiled.set_placed(&mut self.placed, r);
+                }
+                true
+            }
         }
-        true
     }
+
+    // ------------------------------------------------------------------
+    // Primed (prefix-cached) windowed checks
+    // ------------------------------------------------------------------
+
+    /// Invalidate the entire prefix cache (the base order changed
+    /// arbitrarily — a restart, a different component, a new order).
+    pub fn reset_prefix(&mut self) {
+        self.prefix_valid = 1;
+    }
+
+    /// Invalidate prefix entries past position `pos`: after an accepted
+    /// move whose [`first_touched`](crate::Move::first_touched) is `pos`,
+    /// entries `0..=pos` (which depend only on positions `< pos`) remain
+    /// valid.
+    pub fn truncate_prefix(&mut self, pos: usize) {
+        self.prefix_valid = self.prefix_valid.min(pos + 1);
+    }
+
+    /// As [`BitsetChecker::window_valid`], but the placed set at `lo`
+    /// comes from a cached prefix-mask table instead of an `O(lo)` refill,
+    /// making each check `O(window)` — the kernel the large-N proposal
+    /// loop runs on.
+    ///
+    /// Additional precondition on top of `window_valid`'s: between calls,
+    /// the positions *before* each call's `lo` must be unchanged since the
+    /// cache was last valid — callers must report base-order changes via
+    /// [`BitsetChecker::truncate_prefix`] (accepted move) or
+    /// [`BitsetChecker::reset_prefix`] (arbitrary change). The move
+    /// generator enforces this protocol; debug builds cross-check every
+    /// result against the uncached check.
+    pub fn window_valid_primed(
+        &mut self,
+        compiled: &CompiledQuery,
+        order: &[RelId],
+        lo: usize,
+        hi: usize,
+    ) -> bool {
+        debug_assert_eq!(self.stride, compiled.mask_stride());
+        debug_assert!(hi < order.len());
+        debug_assert!((order.len() + 1) * self.stride <= self.prefix.len());
+        // Extend the cache up to entry `lo`. Entries ≤ lo depend only on
+        // positions < lo, which the currently applied move (touching
+        // `lo..=hi`) did not change, so caching them is safe even if the
+        // move is later undone.
+        while self.prefix_valid <= lo {
+            let i = self.prefix_valid;
+            let (head, tail) = self.prefix.split_at_mut(i * self.stride);
+            let prev = &head[(i - 1) * self.stride..];
+            tail[..self.stride].copy_from_slice(&prev[..self.stride]);
+            bitset::set_bit(&mut tail[..self.stride], order[i - 1].index());
+            self.prefix_valid = i + 1;
+        }
+        let start = lo.max(1);
+        let row = &self.prefix[lo * self.stride..(lo + 1) * self.stride];
+        match self.stride {
+            1 => {
+                let mut placed = row[0];
+                for &r in &order[lo..start] {
+                    placed |= 1u64 << r.index();
+                }
+                for &r in &order[start..=hi] {
+                    if compiled.neighbor_word(r) & placed == 0 {
+                        return false;
+                    }
+                    placed |= 1u64 << r.index();
+                }
+                true
+            }
+            BLOCK_WORDS => {
+                let mut placed = [row[0], row[1], row[2], row[3]];
+                for &r in &order[lo..start] {
+                    bitset::set_bit(&mut placed, r.index());
+                }
+                for &r in &order[start..=hi] {
+                    if !block_connects(compiled, r, &placed) {
+                        return false;
+                    }
+                    bitset::set_bit(&mut placed, r.index());
+                }
+                true
+            }
+            _ => {
+                let (prefix, placed) = (&self.prefix, &mut self.placed);
+                placed.copy_from_slice(&prefix[lo * self.stride..(lo + 1) * self.stride]);
+                for &r in &order[lo..start] {
+                    compiled.set_placed(placed, r);
+                }
+                for &r in &order[start..=hi] {
+                    if !compiled.connects_blocks(r, placed) {
+                        return false;
+                    }
+                    compiled.set_placed(placed, r);
+                }
+                true
+            }
+        }
+    }
+}
+
+/// One-block connectivity test: `rel`'s neighbor row against a stack
+/// block, branch-free.
+#[inline]
+fn block_connects(compiled: &CompiledQuery, rel: RelId, placed: &[u64; BLOCK_WORDS]) -> bool {
+    let nb = compiled.neighbor_blocks(rel);
+    ((nb[0] & placed[0]) | (nb[1] & placed[1]) | (nb[2] & placed[2]) | (nb[3] & placed[3])) != 0
 }
 
 #[cfg(test)]
