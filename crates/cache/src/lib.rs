@@ -19,6 +19,11 @@
 //!   producing method, with entry + byte capacity and atomic hit/miss
 //!   counters.
 //!
+//! * [`router`] — a contextual UCB bandit over coarse fingerprint
+//!   feature classes that learns per-class portfolio budget shares
+//!   online, with a mandatory ε exploration floor and corruption-
+//!   tolerant persistence.
+//!
 //! Driver integration (validity re-check against the live catalog, batch
 //! dedup, fall-through to the cold path) lives in `ljqo-core`; this crate
 //! stays dependency-light so anything that can see a catalog can share a
@@ -29,6 +34,8 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod router;
 
 pub use cache::{CacheStats, CachedPlan, CachedSegment, PlanCache, PlanCacheConfig};
 pub use fingerprint::{fingerprint, FingerprintConfig, Fingerprinted, QueryFingerprint};
+pub use router::{classify, BanditRouter, QueryClass, RouterConfig, ShapeClass};

@@ -1,0 +1,139 @@
+//! Value-level tests for the `--router` flags and the always-present
+//! `"router"` JSON block (the golden schema test only pins the keys).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(extra: &[&str]) -> ljqo_json::Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_ljqo-opt"))
+        .arg("--json")
+        .args(extra)
+        .output()
+        .expect("CLI binary runs");
+    assert!(
+        out.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    ljqo_json::parse(&String::from_utf8_lossy(&out.stdout)).expect("CLI emits valid JSON")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ljqo_router_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}_{}.state", tag, std::process::id()))
+}
+
+const STAR: &[&str] = &["--workload-shape", "star", "--workload-joins", "10"];
+
+#[test]
+fn router_block_is_present_but_disabled_by_default() {
+    let out = run(STAR);
+    let r = out.get("router").expect("router block present");
+    assert_eq!(r.get("enabled").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(r.get("mode").and_then(|v| v.as_str()), Some("uniform"));
+    assert_eq!(
+        r.get("state_persisted").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    let shares = r.get("shares").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(shares.len(), 4);
+    for s in shares {
+        assert_eq!(
+            s.as_f64(),
+            Some(0.25),
+            "uniform mode reports the even split"
+        );
+    }
+    let arms = r.get("arms").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(arms.len(), 4);
+    let class = r.get("class").and_then(|v| v.as_str()).unwrap();
+    assert!(
+        class.starts_with("star/"),
+        "a JOB star workload classifies as star, got {class:?}"
+    );
+}
+
+#[test]
+fn ucb_router_learns_and_persists_across_invocations() {
+    let state = scratch("persists");
+    std::fs::remove_file(&state).ok();
+    let state_str = state.to_str().unwrap();
+    let flags = [
+        "--portfolio",
+        "--workers",
+        "4",
+        "--router",
+        "ucb",
+        "--router-state",
+        state_str,
+    ];
+
+    // First boot: fresh state (missing file is not a reset), and the
+    // solve's own outcome is already recorded before the save.
+    let first = run(&[STAR, &flags[..], &["--seed", "1"]].concat());
+    let r = first.get("router").expect("router block present");
+    assert_eq!(r.get("enabled").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(r.get("mode").and_then(|v| v.as_str()), Some("ucb"));
+    assert_eq!(r.get("resets").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(
+        r.get("state_persisted").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let eps = r.get("epsilon").and_then(|v| v.as_f64()).unwrap();
+    assert!(eps > 0.0 && eps <= 0.25, "ε clamped to 1/K, got {eps}");
+    let shares = r.get("shares").and_then(|v| v.as_array()).unwrap();
+    let total: f64 = shares.iter().filter_map(|v| v.as_f64()).sum();
+    assert!((total - 1.0).abs() < 1e-9, "shares sum to 1, got {total}");
+
+    let text = std::fs::read_to_string(&state).expect("state file written after the solve");
+    assert!(
+        text.starts_with("ljqo-router v1"),
+        "state file carries the versioned header"
+    );
+
+    // Second boot: the state loads cleanly — still zero resets.
+    let second = run(&[STAR, &flags[..], &["--seed", "2"]].concat());
+    let r = second.get("router").expect("router block present");
+    assert_eq!(r.get("resets").and_then(|v| v.as_u64()), Some(0));
+
+    // Corrupt the file: the third boot degrades to uniform and counts it.
+    std::fs::write(&state, "not a router state").unwrap();
+    let third = run(&[STAR, &flags[..], &["--seed", "3"]].concat());
+    let r = third.get("router").expect("router block present");
+    assert_eq!(r.get("resets").and_then(|v| v.as_u64()), Some(1));
+    std::fs::remove_file(&state).ok();
+}
+
+#[test]
+fn router_flag_misuse_is_a_usage_error() {
+    // `--router ucb` without `--portfolio`, `--router-state` without
+    // `--router ucb`, and an unknown router name: all exit 2.
+    for (extra, needle) in [
+        (vec!["--router", "ucb"], "--portfolio"),
+        (vec!["--router-state", "/tmp/x.state"], "--router ucb"),
+        (
+            vec!["--portfolio", "--router", "thompson"],
+            "unknown router",
+        ),
+        (
+            vec!["--portfolio", "--router", "ucb", "--router-epsilon", "-1"],
+            "--router-epsilon",
+        ),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ljqo-opt"))
+            .args(STAR)
+            .args(&extra)
+            .output()
+            .expect("CLI binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{extra:?} must be a usage error"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "{extra:?}: stderr names the problem"
+        );
+    }
+}

@@ -159,12 +159,16 @@ fn serve_from_entry(
             degradation: Degradation::None,
             deadline_expired: false,
             workers_failed: 0,
+            winner: None,
         },
         outcome,
     ))
 }
 
 /// Build the cache entry for a cold result, in canonical coordinates.
+/// The producer credit prefers the portfolio winner when the cold path
+/// was a multi-method parallel run; sequential solves credit the
+/// configured method as before.
 fn entry_for(fp: &Fingerprinted, result: &Optimized, config: &OptimizerConfig) -> CachedPlan {
     CachedPlan {
         segments: result
@@ -178,7 +182,10 @@ fn entry_for(fp: &Fingerprinted, result: &Optimized, config: &OptimizerConfig) -
             })
             .collect(),
         total_cost: result.cost,
-        producer: config.method.name(),
+        producer: result
+            .winner
+            .map(|m| m.name())
+            .unwrap_or(config.method.name()),
     }
 }
 
@@ -283,6 +290,55 @@ pub fn optimize_batch_cached(
     cache: &PlanCache,
     fp_config: &FingerprintConfig,
 ) -> BatchReport {
+    optimize_batch_cached_with(
+        queries,
+        model,
+        config,
+        options,
+        cache,
+        fp_config,
+        &|q, cfg| try_optimize(q, model, cfg),
+    )
+}
+
+/// [`optimize_batch_cached`] with each cold solve searched by
+/// [`try_optimize_parallel`](crate::try_optimize_parallel) under
+/// `parallelism` — including, when
+/// [`Parallelism::router`](crate::Parallelism) is set, the learned
+/// per-class budget split with online feedback. The caching, dedup,
+/// seeding, and reporting contracts are identical to
+/// [`optimize_batch_cached`]; only the cold path differs.
+pub fn optimize_batch_cached_routed(
+    queries: &[Query],
+    model: &(dyn CostModel + Sync),
+    config: &OptimizerConfig,
+    options: &BatchOptions,
+    cache: &PlanCache,
+    fp_config: &FingerprintConfig,
+    parallelism: &Parallelism,
+) -> BatchReport {
+    optimize_batch_cached_with(
+        queries,
+        model,
+        config,
+        options,
+        cache,
+        fp_config,
+        &|q, cfg| try_optimize_parallel(q, model, cfg, parallelism),
+    )
+}
+
+/// The shared batch body: `cold` is the per-query cold solver (already
+/// closed over the model), invoked with the member's derived config.
+fn optimize_batch_cached_with(
+    queries: &[Query],
+    model: &(dyn CostModel + Sync),
+    config: &OptimizerConfig,
+    options: &BatchOptions,
+    cache: &PlanCache,
+    fp_config: &FingerprintConfig,
+    cold: ColdSolver<'_>,
+) -> BatchReport {
     let started = Instant::now();
 
     // Fingerprint everything up front (cheap, linear in query size) and
@@ -349,6 +405,7 @@ pub fn optimize_batch_cached(
                             &prints,
                             group,
                             &cold_config,
+                            cold,
                             &mut out,
                         );
                     }
@@ -433,6 +490,11 @@ struct Served {
     producer: &'static str,
 }
 
+/// The cold-path solver a cached batch runs for a group representative:
+/// sequential [`try_optimize`] for [`optimize_batch_cached`], the
+/// parallel driver for [`optimize_batch_cached_routed`].
+type ColdSolver<'a> = &'a (dyn Fn(&Query, &OptimizerConfig) -> Result<Optimized, OptError> + Sync);
+
 /// Serve one fingerprint group: at most one cold solve, members reuse
 /// the resulting entry (or fall back to their own cold solve).
 #[allow(clippy::too_many_arguments)]
@@ -443,6 +505,7 @@ fn serve_group(
     prints: &[Option<Fingerprinted>],
     group: &[usize],
     cold_config: &(dyn Fn(usize) -> OptimizerConfig + Sync),
+    cold: ColdSolver<'_>,
     out: &mut Vec<(usize, Served)>,
 ) {
     let mut entry: Option<CachedPlan> = None;
@@ -478,8 +541,12 @@ fn serve_group(
         // Cold solve with the exact seed the plain batch driver would use
         // for this index.
         let cfg = cold_config(i);
-        let result = try_optimize(query, model, &cfg);
+        let result = cold(query, &cfg);
+        let mut producer = cfg.method.name();
         if let Ok(r) = &result {
+            if let Some(m) = r.winner {
+                producer = m.name();
+            }
             if cacheable(r) {
                 let e = entry_for(fp, r, &cfg);
                 cache.insert(fp.fingerprint().clone(), e.clone());
@@ -495,7 +562,7 @@ fn serve_group(
                 result,
                 outcome: CacheOutcome::Miss,
                 reused: false,
-                producer: cfg.method.name(),
+                producer,
             },
         ));
     }

@@ -33,7 +33,8 @@ use ljqo_plan::{random_valid_order, JoinOrder, Plan};
 use crate::error::{Degradation, OptError};
 use crate::methods::{Method, MethodRunner};
 use crate::parallel::{
-    run_portfolio, run_portfolio_robust, splitmix, ParallelOptions, Parallelism,
+    run_portfolio, run_portfolio_robust, run_portfolio_robust_weighted, run_portfolio_weighted,
+    splitmix, ParallelOptions, Parallelism,
 };
 
 /// Configuration for [`optimize`].
@@ -160,6 +161,13 @@ pub struct Optimized {
     /// Parallel workers that panicked and were isolated (always 0 for the
     /// sequential [`try_optimize`] path; see [`try_optimize_parallel`]).
     pub workers_failed: usize,
+    /// The portfolio method that produced the winning order of the
+    /// largest component, when the plan came from a multi-method
+    /// portfolio run ([`try_optimize_parallel`] with rotated methods).
+    /// `None` on sequential paths, homogeneous fan-outs, and fallback
+    /// rescues — the winner identity feeds the learned router and the
+    /// per-class win counters, which only care about portfolio runs.
+    pub winner: Option<Method>,
 }
 
 /// What planning one component produced, and how. Shared with the bushy
@@ -392,6 +400,7 @@ pub fn try_optimize(
         degradation,
         deadline_expired,
         workers_failed: 0,
+        winner: None,
     })
 }
 
@@ -488,6 +497,13 @@ pub fn try_optimize_parallel(
     } else {
         &parallelism.methods
     };
+    // Learned routing engages only on genuine portfolios whose arm set
+    // matches the router's; anything else keeps the uniform split.
+    let routed = parallelism
+        .router
+        .as_deref()
+        .filter(|r| methods.len() > 1 && r.n_arms() == methods.len())
+        .map(|r| (r, ljqo_cache::classify(query)));
 
     let mut segments: Vec<(JoinOrder, f64)> = Vec::with_capacity(components.len());
     let mut units_used = 0;
@@ -495,6 +511,7 @@ pub fn try_optimize_parallel(
     let mut degradation = Degradation::None;
     let mut deadline_expired = false;
     let mut workers_failed = 0;
+    let mut winner: Option<(usize, Method)> = None;
     for (idx, comp) in components.iter().enumerate() {
         let share = total_budget.saturating_mul((comp.len() * comp.len()) as u64) / weight_sum;
         let budget = share.max(4 * comp.len() as u64);
@@ -517,16 +534,41 @@ pub fn try_optimize_parallel(
                 opts = opts.with_stop_threshold(lb * (1.0 + eps));
             }
         }
-        let parallel = if parallelism.structural_backstop {
-            run_portfolio_robust(query, model, &config.runner, methods, comp, &opts)
-        } else {
-            run_portfolio(query, model, &config.runner, methods, comp, &opts)
+        // Multi-worker multi-method components consult the router for a
+        // learned share vector; singleton components (1 worker, 1
+        // method) have nothing to route.
+        let shares = routed
+            .as_ref()
+            .filter(|_| workers > 1)
+            .map(|(r, class)| r.shares(class));
+        let parallel = match (&shares, parallelism.structural_backstop) {
+            (Some(w), true) => {
+                run_portfolio_robust_weighted(query, model, &config.runner, methods, comp, &opts, w)
+            }
+            (Some(w), false) => {
+                run_portfolio_weighted(query, model, &config.runner, methods, comp, &opts, w)
+            }
+            (None, true) => {
+                run_portfolio_robust(query, model, &config.runner, methods, comp, &opts)
+            }
+            (None, false) => run_portfolio(query, model, &config.runner, methods, comp, &opts),
         };
         let outcome = match parallel {
             Some(r) if is_valid(query.graph(), r.order.rels()) => {
                 workers_failed += r.workers_failed;
                 if r.deadline_expired {
                     deadline_expired = true;
+                }
+                if methods.len() > 1 && comp.len() > 1 {
+                    // Remember the portfolio winner of the largest
+                    // routed component for `Optimized::winner`.
+                    if winner.as_ref().is_none_or(|&(len, _)| comp.len() > len) {
+                        winner = Some((comp.len(), r.method));
+                    }
+                    // Feed the outcome back into the router online.
+                    if let Some((router, class)) = &routed {
+                        record_portfolio_outcome(router, class, methods, &r);
+                    }
                 }
                 ComponentOutcome {
                     best: Some((r.order, r.cost)),
@@ -573,7 +615,42 @@ pub fn try_optimize_parallel(
         degradation,
         deadline_expired,
         workers_failed,
+        winner: winner.map(|(_, m)| m),
     })
+}
+
+/// Reduce one portfolio run to per-arm statistics and feed the router.
+///
+/// Each arm's cost is the best across the workers that rotated it, and
+/// its spend their summed consumption; the challenger's report (a
+/// method outside the rotation, e.g. [`Method::Cardfree`]) matches no
+/// arm and is skipped. Outcomes where fewer than two arms produced a
+/// state teach nothing about *relative* merit and are dropped — the
+/// reward is normalized within the run, so a lone survivor would always
+/// score a meaningless 1.0.
+fn record_portfolio_outcome(
+    router: &ljqo_cache::BanditRouter,
+    class: &ljqo_cache::QueryClass,
+    methods: &[Method],
+    r: &crate::parallel::ParallelResult,
+) {
+    let k = methods.len();
+    let mut arm_costs: Vec<Option<f64>> = vec![None; k];
+    let mut arm_units: Vec<u64> = vec![0; k];
+    for report in &r.per_worker {
+        let Some(arm) = methods.iter().position(|m| *m == report.method) else {
+            continue;
+        };
+        arm_units[arm] += report.units_used;
+        if let Some(cost) = report.best_cost.filter(|c| c.is_finite()) {
+            arm_costs[arm] = Some(arm_costs[arm].map_or(cost, |c: f64| c.min(cost)));
+        }
+    }
+    if arm_costs.iter().flatten().count() < 2 {
+        return;
+    }
+    let winner = methods.iter().position(|m| *m == r.method);
+    router.record_outcome(class, &arm_costs, &arm_units, winner);
 }
 
 /// Options for [`optimize_batch`].

@@ -85,7 +85,10 @@ pub use bushy_search::{
     bushy_gap_vs_dp, bushy_tree_cost, try_optimize_bushy, BushyIterativeImprovement,
     BushyOptimized, BushySimulatedAnnealing,
 };
-pub use cached::{optimize_batch_cached, optimize_cached, optimize_cached_parallel, CacheOutcome};
+pub use cached::{
+    optimize_batch_cached, optimize_batch_cached_routed, optimize_cached, optimize_cached_parallel,
+    CacheOutcome,
+};
 pub use driver::{
     optimize, optimize_batch, try_optimize, try_optimize_parallel, BatchOptions, BatchReport,
     Optimized, OptimizerConfig, ServedVia,
@@ -97,7 +100,7 @@ pub use parallel::{Cooperation, Parallelism};
 pub use robust::{recost_plan, regret_under, regret_under_parallel, RegretSample};
 pub use sa::SimulatedAnnealing;
 pub use sampling::RandomSampling;
-pub use serving::{ServingCounters, ServingSnapshot};
+pub use serving::{win_labels, win_slot, ServingCounters, ServingSnapshot};
 
 // Re-export the component crates so downstream users need only `ljqo`.
 pub use ljqo_cache as cache;

@@ -44,8 +44,10 @@ pub fn rung_index(d: Degradation) -> usize {
 /// entry written by a newer binary).
 const N_WIN_SLOTS: usize = Method::ALL.len() + 2;
 
-/// Stable label for each win slot.
-pub(crate) fn win_labels() -> [&'static str; N_WIN_SLOTS] {
+/// Stable label for each win slot. Public so per-class win tables (the
+/// server's `method_wins_by_class`) can stay aligned with the global
+/// [`ServingSnapshot::method_wins`] table.
+pub fn win_labels() -> [&'static str; N_WIN_SLOTS] {
     let mut labels = [""; N_WIN_SLOTS];
     for (i, m) in Method::ALL.into_iter().enumerate() {
         labels[i] = m.name();
@@ -55,7 +57,8 @@ pub(crate) fn win_labels() -> [&'static str; N_WIN_SLOTS] {
     labels
 }
 
-fn win_slot(producer: &str) -> usize {
+/// Index of a producer label into [`win_labels`]-shaped arrays.
+pub fn win_slot(producer: &str) -> usize {
     match Method::parse(producer) {
         Some(Method::Cardfree) => N_WIN_SLOTS - 2,
         Some(m) => Method::ALL

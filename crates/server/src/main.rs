@@ -6,6 +6,7 @@
 //!             [--workers N] [--batch-max N] [--batch-linger-ms F]
 //!             [--max-queue N] [--max-frame-bytes N]
 //!             [--cache-entries N] [--cache-shards N] [--fp-buckets N]
+//!             [--router uniform|ucb] [--router-state PATH] [--router-epsilon F]
 //! ```
 //!
 //! The daemon prints one `listening on ADDR` line once the socket is
@@ -65,7 +66,8 @@ fn usage() -> ! {
          \x20                  [--tau F] [--kappa F] [--seed N] [--deadline-ms N]\n\
          \x20                  [--workers N] [--batch-max N] [--batch-linger-ms F]\n\
          \x20                  [--max-queue N] [--max-frame-bytes N]\n\
-         \x20                  [--cache-entries N] [--cache-shards N] [--fp-buckets N]"
+         \x20                  [--cache-entries N] [--cache-shards N] [--fp-buckets N]\n\
+         \x20                  [--router uniform|ucb] [--router-state PATH] [--router-epsilon F]"
     );
     std::process::exit(2);
 }
@@ -137,6 +139,23 @@ fn parse_config() -> ServerConfig {
             "--fp-buckets" => {
                 config.fp_buckets =
                     parse_int("--fp-buckets", &value_for("--fp-buckets", &mut args)) as u32;
+            }
+            "--router" => {
+                let v = value_for("--router", &mut args);
+                if v != "uniform" && v != "ucb" {
+                    eprintln!("error: --router expects uniform|ucb, got `{v}`");
+                    usage();
+                }
+                config.router = v;
+            }
+            "--router-state" => {
+                config.router_state = Some(value_for("--router-state", &mut args));
+            }
+            "--router-epsilon" => {
+                config.router_epsilon = parse_num(
+                    "--router-epsilon",
+                    &value_for("--router-epsilon", &mut args),
+                );
             }
             "--help" | "-h" => usage(),
             other => {

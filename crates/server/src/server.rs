@@ -29,19 +29,23 @@
 //! admitted request has been answered — never dropping accepted work —
 //! with a final stats document.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ljqo::parallel::PORTFOLIO;
 use ljqo::serving::DEGRADATION_LABELS;
 use ljqo::{
-    optimize_batch_cached, BatchOptions, Method, OptError, Optimized, OptimizerConfig, ServedVia,
-    ServingCounters,
+    optimize_batch_cached, optimize_batch_cached_routed, win_labels, win_slot, BatchOptions,
+    Method, OptError, Optimized, OptimizerConfig, Parallelism, ServedVia, ServingCounters,
 };
-use ljqo_cache::{FingerprintConfig, PlanCache, PlanCacheConfig};
+use ljqo_cache::{
+    classify, BanditRouter, FingerprintConfig, PlanCache, PlanCacheConfig, RouterConfig,
+};
 use ljqo_catalog::Query;
 use ljqo_cli::QueryFile;
 use ljqo_cost::{CostModel, DiskCostModel, MemoryCostModel, MultiMethodCostModel};
@@ -86,6 +90,18 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Fingerprint statistic-bucketing resolution (buckets per decade).
     pub fp_buckets: u32,
+    /// Budget routing mode for cold solves: `uniform` (the sequential
+    /// configured-method driver, today's behavior) or `ucb` (cold solves
+    /// run the [`PORTFOLIO`] under a process-wide contextual-bandit
+    /// router that learns per-class budget shares online).
+    pub router: String,
+    /// Path the router state is loaded from at startup and saved to on
+    /// drain. Unreadable or corrupt state degrades to uniform shares
+    /// with `router.resets` counted, never an error.
+    pub router_state: Option<String>,
+    /// Mandatory exploration floor ε for the router: every portfolio
+    /// method keeps at least this budget fraction per query class.
+    pub router_epsilon: f64,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +122,9 @@ impl Default for ServerConfig {
             cache_entries: 4096,
             cache_shards: 8,
             fp_buckets: FingerprintConfig::default().buckets_per_decade,
+            router: "uniform".to_string(),
+            router_state: None,
+            router_epsilon: RouterConfig::default().epsilon,
         }
     }
 }
@@ -206,6 +225,14 @@ struct Inner {
     cache: PlanCache,
     fp_config: FingerprintConfig,
     serving: ServingCounters,
+    /// The process-wide learned router plus the parallelism every cold
+    /// solve runs under; `None` in `uniform` mode (sequential cold
+    /// solves, exactly the pre-router behavior).
+    router: Option<(Arc<BanditRouter>, Parallelism)>,
+    /// Per-class win counts, keyed by [`ljqo_cache::QueryClass`] label
+    /// with slots aligned to [`win_labels`] — the per-class view of the
+    /// global `method_wins` table.
+    class_wins: Mutex<BTreeMap<String, Vec<u64>>>,
     stats: ServerStats,
     queue: Queue,
     draining: AtomicBool,
@@ -274,12 +301,40 @@ impl Server {
             .with_time_limit(config.tau)
             .with_kappa(config.kappa)
             .with_seed(config.seed);
+        let router = match config.router.as_str() {
+            "uniform" => None,
+            "ucb" => {
+                let arms: Vec<&str> = PORTFOLIO.iter().map(|m| m.name()).collect();
+                let router_config = RouterConfig {
+                    epsilon: config.router_epsilon,
+                    ..RouterConfig::default()
+                };
+                let router = Arc::new(match &config.router_state {
+                    Some(path) => BanditRouter::load(Path::new(path), &arms, router_config),
+                    None => BanditRouter::new(&arms, router_config),
+                });
+                // One search thread per portfolio method; the batch solve
+                // itself stays single-threaded (see `serve_batch`), so
+                // `--workers N` still bounds concurrent batches.
+                let parallelism =
+                    Parallelism::portfolio(PORTFOLIO.len()).with_router(Arc::clone(&router));
+                Some((router, parallelism))
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown router mode `{other}` (uniform|ucb)"),
+                ));
+            }
+        };
         let inner = Arc::new(Inner {
             opt_config,
             model,
             cache: PlanCache::new(cache_config),
             fp_config,
             serving: ServingCounters::new(),
+            router,
+            class_wins: Mutex::new(BTreeMap::new()),
             stats: ServerStats::new(),
             queue: Queue::new(),
             draining: AtomicBool::new(false),
@@ -370,6 +425,11 @@ impl Server {
         }
         for r in readers {
             r.join().ok();
+        }
+        // Persist what the router learned; a failed write only costs the
+        // next process its warm start.
+        if let (Some((router, _)), Some(path)) = (&inner.router, &inner.config.router_state) {
+            router.save(Path::new(path)).ok();
         }
         stats_json(&inner)
     }
@@ -581,15 +641,39 @@ fn serve_batch(inner: &Inner, batch: Vec<Pending>) {
         per_query_deadline: inner.config.deadline_ms.map(Duration::from_millis),
     };
     let model: &(dyn CostModel + Sync) = &*inner.model;
-    let report = optimize_batch_cached(
-        &queries,
-        model,
-        &inner.opt_config,
-        &options,
-        &inner.cache,
-        &inner.fp_config,
-    );
+    let report = match &inner.router {
+        Some((_, parallelism)) => optimize_batch_cached_routed(
+            &queries,
+            model,
+            &inner.opt_config,
+            &options,
+            &inner.cache,
+            &inner.fp_config,
+            parallelism,
+        ),
+        None => optimize_batch_cached(
+            &queries,
+            model,
+            &inner.opt_config,
+            &options,
+            &inner.cache,
+            &inner.fp_config,
+        ),
+    };
     inner.serving.absorb(&report);
+    // Per-class producer credit, aligned with the global `method_wins`
+    // table (only successful answers are credited there too).
+    {
+        let n_slots = win_labels().len();
+        let mut class_wins = inner.class_wins.lock().unwrap();
+        for ((pending, result), via) in batch.iter().zip(&report.results).zip(&report.outcomes) {
+            if result.is_ok() {
+                let label = classify(&pending.query).label();
+                let slots = class_wins.entry(label).or_insert_with(|| vec![0; n_slots]);
+                slots[win_slot(via.producer)] += 1;
+            }
+        }
+    }
     for ((pending, result), via) in batch.iter().zip(&report.results).zip(&report.outcomes) {
         let latency_us = pending.admitted.elapsed().as_micros() as u64;
         let body = match result {
@@ -860,6 +944,86 @@ fn stats_json(inner: &Inner) -> Value {
         .iter()
         .map(|&(name, count)| (name, Value::from(count)))
         .collect());
+    // Per-class wins as an array of objects: class labels are dynamic,
+    // so keeping them in array elements (not object keys) keeps the
+    // golden key-path schema stable across workloads.
+    let labels = win_labels();
+    let wins_by_class = Value::Array(
+        inner
+            .class_wins
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(class, slots)| {
+                obj(vec![
+                    ("class", Value::from(class.as_str())),
+                    (
+                        "wins",
+                        obj(labels
+                            .iter()
+                            .zip(slots)
+                            .map(|(&name, &count)| (name, Value::from(count)))
+                            .collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let router_block = match &inner.router {
+        Some((router, _)) => {
+            let snap = router.snapshot();
+            obj(vec![
+                ("enabled", Value::Bool(true)),
+                ("mode", Value::from("ucb")),
+                ("epsilon", Value::from(snap.epsilon)),
+                ("resets", Value::from(snap.resets)),
+                (
+                    "state_path",
+                    c.router_state
+                        .as_deref()
+                        .map(Value::from)
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "arms",
+                    Value::Array(snap.arms.iter().map(|a| Value::from(a.as_str())).collect()),
+                ),
+                (
+                    "classes",
+                    Value::Array(
+                        snap.classes
+                            .iter()
+                            .map(|cls| {
+                                let nums = |xs: &[u64]| {
+                                    Value::Array(xs.iter().map(|&x| Value::from(x)).collect())
+                                };
+                                let floats = |xs: &[f64]| {
+                                    Value::Array(xs.iter().map(|&x| Value::from(x)).collect())
+                                };
+                                obj(vec![
+                                    ("class", Value::from(cls.label.as_str())),
+                                    ("events", Value::from(cls.events)),
+                                    ("pulls", nums(&cls.pulls)),
+                                    ("mean_reward", floats(&cls.mean_reward)),
+                                    ("wins", nums(&cls.wins)),
+                                    ("shares", floats(&cls.shares)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        None => obj(vec![
+            ("enabled", Value::Bool(false)),
+            ("mode", Value::from("uniform")),
+            ("epsilon", Value::from(0.0)),
+            ("resets", Value::from(0u64)),
+            ("state_path", Value::Null),
+            ("arms", Value::Array(Vec::new())),
+            ("classes", Value::Array(Vec::new())),
+        ]),
+    };
 
     obj(vec![
         ("server", server),
@@ -871,5 +1035,7 @@ fn stats_json(inner: &Inner) -> Value {
         ("serving", serving_block),
         ("degradation", degradation),
         ("method_wins", wins),
+        ("method_wins_by_class", wins_by_class),
+        ("router", router_block),
     ])
 }

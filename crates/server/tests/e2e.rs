@@ -385,6 +385,104 @@ fn drain_answers_every_admitted_request_and_rejects_new_ones() {
     );
 }
 
+#[test]
+fn router_shares_leave_uniform_under_a_skewed_workload_and_persist() {
+    // A UCB-routed server fed a workload skewed to one query class must
+    // (a) report learned statistics in the /stats `router` block, (b)
+    // move that class's budget shares away from the uniform 1/4 split
+    // while honoring the ε floor, and (c) persist the learned state on
+    // drain so the next process starts warm.
+    let state_path = std::env::temp_dir().join(format!(
+        "ljqo_router_e2e_{}_{:x}.state",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let config = ServerConfig {
+        router: "ucb".to_string(),
+        router_state: Some(state_path.to_string_lossy().into_owned()),
+        tau: 3.0,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, join) = start(config.clone());
+
+    // 16 star queries with distinct statistics: every one is a cold
+    // solve (distinct fingerprints), all in the same router class.
+    let mut client = Client::connect(addr).unwrap();
+    for i in 0..16u64 {
+        let q = QueryFile::from_query(&generate_job_query(
+            &JobSpec::new(JobShape::Star),
+            12,
+            500 + i,
+        ));
+        let reply = client.optimize(i, &q).unwrap();
+        assert_eq!(get(&reply, &["ok"]).as_bool(), Some(true), "{reply}");
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(get(&stats, &["router", "enabled"]).as_bool(), Some(true));
+    assert_eq!(get(&stats, &["router", "mode"]).as_str(), Some("ucb"));
+    let epsilon = get(&stats, &["router", "epsilon"]).as_f64().unwrap();
+    assert!(epsilon > 0.0 && epsilon <= 0.25);
+    let arms = get(&stats, &["router", "arms"]).as_array().unwrap();
+    assert_eq!(arms.len(), 4, "one arm per portfolio method");
+    let classes = get(&stats, &["router", "classes"]).as_array().unwrap();
+    let learned = classes
+        .iter()
+        .find(|c| get(c, &["events"]).as_u64().unwrap() >= 8)
+        .expect("the skewed class accumulated enough events to learn");
+    assert!(get(learned, &["class"])
+        .as_str()
+        .unwrap()
+        .starts_with("star/"));
+    let shares: Vec<f64> = get(learned, &["shares"])
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s.as_f64().unwrap())
+        .collect();
+    assert_eq!(shares.len(), 4);
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    let max = shares.iter().cloned().fold(f64::MIN, f64::max);
+    let min = shares.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max > 0.25 + 1e-9,
+        "shares stayed uniform after warm-up: {shares:?}"
+    );
+    assert!(
+        min >= epsilon - 1e-9,
+        "ε floor violated: {shares:?} vs ε = {epsilon}"
+    );
+    // The per-class win table covers the same class.
+    let by_class = get(&stats, &["method_wins_by_class"]).as_array().unwrap();
+    assert!(by_class
+        .iter()
+        .any(|c| get(c, &["class"]).as_str().unwrap().starts_with("star/")));
+
+    handle.shutdown();
+    join.join().unwrap();
+
+    // Drain persisted the state; a fresh server loads it warm with no
+    // reset counted.
+    let text = std::fs::read_to_string(&state_path).expect("router state saved on drain");
+    assert!(text.starts_with("ljqo-router v1"), "{text}");
+    let (addr2, handle2, join2) = start(config);
+    let stats2 = fetch_stats_http(addr2).unwrap();
+    assert_eq!(get(&stats2, &["router", "resets"]).as_u64(), Some(0));
+    let classes2 = get(&stats2, &["router", "classes"]).as_array().unwrap();
+    assert!(
+        classes2
+            .iter()
+            .any(|c| get(c, &["events"]).as_u64().unwrap() >= 8),
+        "learned class survives the restart: {stats2}"
+    );
+    handle2.shutdown();
+    join2.join().unwrap();
+    std::fs::remove_file(&state_path).ok();
+}
+
 /// Shorthand for injecting raw (possibly malformed) `Optimize` payloads.
 trait RawClient {
     fn send_raw_optimize(&mut self, payload: &[u8]) -> std::io::Result<()>;
